@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark harnesses: every bench binary
+ * regenerates one table or figure of the EMISSARY paper and prints
+ * the same rows/series the paper reports.
+ *
+ * Window sizes default to laptop scale (the paper used 100 M
+ * instruction windows on gem5 server racks); override with
+ * EMISSARY_BENCH_INSTRUCTIONS / EMISSARY_BENCH_WARMUP, and restrict
+ * the suite with EMISSARY_BENCHMARKS=tomcat,kafka,...
+ */
+
+#ifndef EMISSARY_BENCH_COMMON_HH
+#define EMISSARY_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+#include "stats/table.hh"
+#include "util/strutil.hh"
+
+namespace emissary::bench
+{
+
+/** Default measured window per run (overridable via env). */
+inline core::RunOptions
+defaultOptions(std::uint64_t fallback_instructions = 1'000'000)
+{
+    core::RunOptions options;
+    options.measureInstructions = core::envU64(
+        "EMISSARY_BENCH_INSTRUCTIONS", fallback_instructions);
+    options.warmupInstructions = core::envU64(
+        "EMISSARY_BENCH_WARMUP", options.measureInstructions / 2);
+    return options;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment, const char *paper_ref,
+       const core::RunOptions &options)
+{
+    std::printf("=== EMISSARY reproduction: %s ===\n", experiment);
+    std::printf("paper reference: %s\n", paper_ref);
+    std::printf("machine: Alderlake-like (Table 4); window: %llu warm"
+                " + %llu measured instructions\n\n",
+                static_cast<unsigned long long>(
+                    options.warmupInstructions),
+                static_cast<unsigned long long>(
+                    options.measureInstructions));
+}
+
+} // namespace emissary::bench
+
+#endif // EMISSARY_BENCH_COMMON_HH

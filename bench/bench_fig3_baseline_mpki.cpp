@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 3: average L1I, L1D, L2-instruction and L2-data MPKI of the
+ * 13 benchmarks on the TPLRU + FDIP baseline. Also reports IPC and
+ * branch MPKI as sanity columns (not in the paper's figure).
+ */
+
+#include "bench/bench_common.hh"
+#include "trace/program.hh"
+
+int
+main()
+{
+    using namespace emissary;
+    const auto options = bench::defaultOptions();
+    bench::banner("Figure 3 - baseline MPKI characterization",
+                  "Fig. 3 (TPLRU + FDIP baseline)", options);
+
+    stats::Table table({"benchmark", "L1I MPKI", "L1D MPKI",
+                        "L2I MPKI", "L2D MPKI", "IPC", "brMiss/Ki"});
+
+    std::vector<double> l1i, l1d, l2i, l2d;
+    for (const auto &profile : core::selectedBenchmarks()) {
+        const trace::SyntheticProgram program(profile);
+        const core::Metrics m =
+            core::runPolicy(program, "TPLRU", options);
+        table.addRow({profile.name, formatDouble(m.l1iMpki, 2),
+                      formatDouble(m.l1dMpki, 2),
+                      formatDouble(m.l2InstMpki, 2),
+                      formatDouble(m.l2DataMpki, 2),
+                      formatDouble(m.ipc, 3),
+                      formatDouble(m.condMispredictsPerKi, 2)});
+        l1i.push_back(m.l1iMpki);
+        l1d.push_back(m.l1dMpki);
+        l2i.push_back(m.l2InstMpki);
+        l2d.push_back(m.l2DataMpki);
+    }
+    table.addRow({"average", formatDouble(mean(l1i), 2),
+                  formatDouble(mean(l1d), 2),
+                  formatDouble(mean(l2i), 2),
+                  formatDouble(mean(l2d), 2), "-", "-"});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper: average L2I MPKI 9.63 vs average L2D MPKI "
+                "2.69; specjbb/kafka/media-stream have high L1D "
+                "MPKI; media-stream and kafka have L2D > L2I.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 5: per-benchmark speedup vs L2 instruction MPKI and speedup
+ * vs change in S&E starvation cycles, for P(N) families swept over N
+ * and the M: insertion policies. tpcc is omitted as in the paper
+ * (its L2 instruction MPKI is very low).
+ *
+ * Default sweep: N in {2, 6, 10, 14} for the P(N) families; set
+ * EMISSARY_FIG5_FULL=1 for N in {2..14 step 2} and the P(N):R(1/32)
+ * family as well.
+ */
+
+#include <cstdlib>
+
+#include "bench/bench_common.hh"
+#include "trace/program.hh"
+
+int
+main()
+{
+    using namespace emissary;
+    const auto options = bench::defaultOptions(1'000'000);
+    bench::banner("Figure 5 - per-benchmark policy sweep",
+                  "Fig. 5 (speedup vs MPKI / starvation change)",
+                  options);
+
+    const bool full = std::getenv("EMISSARY_FIG5_FULL") != nullptr;
+    const std::vector<unsigned> protect_ns =
+        full ? std::vector<unsigned>{2, 4, 6, 8, 10, 12, 14}
+             : std::vector<unsigned>{2, 6, 10, 14};
+
+    std::vector<std::string> policies = {"M:0", "M:R(1/32)", "M:S&E",
+                                         "M:S&E&R(1/32)"};
+    for (const unsigned n : protect_ns) {
+        policies.push_back("P(" + std::to_string(n) + "):S&E");
+        policies.push_back("P(" + std::to_string(n) +
+                           "):S&E&R(1/32)");
+        if (full)
+            policies.push_back("P(" + std::to_string(n) +
+                               "):R(1/32)");
+    }
+
+    for (const auto &profile : core::selectedBenchmarks()) {
+        if (profile.name == "tpcc")
+            continue;  // Omitted in the paper's Fig. 5.
+        const trace::SyntheticProgram program(profile);
+        const core::Metrics base =
+            core::runPolicy(program, "TPLRU", options);
+
+        stats::Table table({"policy", "speedup%", "L2I MPKI",
+                            "dStarv(S&E)%", "L2D MPKI"});
+        table.addRow({"TPLRU (N=0 baseline)", "0.00",
+                      formatDouble(base.l2InstMpki, 2), "0.0",
+                      formatDouble(base.l2DataMpki, 2)});
+        for (const auto &policy : policies) {
+            const core::Metrics m =
+                core::runPolicy(program, policy, options);
+            const double dstarv =
+                base.starvationIqEmptyCycles > 0
+                    ? 100.0 *
+                          (static_cast<double>(
+                               m.starvationIqEmptyCycles) -
+                           static_cast<double>(
+                               base.starvationIqEmptyCycles)) /
+                          static_cast<double>(
+                              base.starvationIqEmptyCycles)
+                    : 0.0;
+            table.addRow(
+                {policy,
+                 formatDouble(core::speedupPercent(base, m), 2),
+                 formatDouble(m.l2InstMpki, 2),
+                 formatDouble(dstarv, 1),
+                 formatDouble(m.l2DataMpki, 2)});
+        }
+        std::printf("--- %s ---\n%s\n", profile.name.c_str(),
+                    table.render().c_str());
+        std::fflush(stdout);
+    }
+    std::printf(
+        "paper shape: for benchmarks with L2I MPKI > 1, speedup rises\n"
+        "and starvation falls as N grows to ~8 (half the ways), then\n"
+        "gains shrink as data lines get squeezed; MPKI often falls\n"
+        "with N (the paper's §5.7 'persistence improves hit rate').\n");
+    return 0;
+}

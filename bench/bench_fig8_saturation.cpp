@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 8: distribution of the number of high-priority lines per L2
+ * set at the end of simulation, averaged over the suite, for
+ * P(8):S&E and P(8):S&E&R(1/32). Shows the §6 saturation behaviour
+ * and the random filter's selectivity.
+ */
+
+#include "bench/bench_common.hh"
+#include "trace/program.hh"
+
+int
+main()
+{
+    using namespace emissary;
+    const auto options = bench::defaultOptions(1'500'000);
+    bench::banner("Figure 8 - per-set high-priority occupancy",
+                  "Fig. 8 (end-of-simulation distribution)", options);
+
+    const std::vector<std::string> policies = {"P(8):S&E",
+                                               "P(8):S&E&R(1/32)",
+                                               "P(8):S&E&R(1/4)"};
+    std::vector<std::string> headers = {"lines/set"};
+    for (const auto &p : policies)
+        headers.push_back(p);
+    stats::Table table(headers);
+
+    std::vector<std::vector<double>> dist(
+        policies.size(), std::vector<double>(17, 0.0));
+    std::vector<double> saturated(policies.size(), 0.0);
+    unsigned n_benchmarks = 0;
+
+    for (const auto &profile : core::selectedBenchmarks()) {
+        const trace::SyntheticProgram program(profile);
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const core::Metrics m =
+                core::runPolicy(program, policies[p], options);
+            for (std::size_t i = 0;
+                 i < m.priorityDistribution.size() && i < 17; ++i)
+                dist[p][i] += m.priorityDistribution[i];
+            for (std::size_t i = 8;
+                 i < m.priorityDistribution.size(); ++i)
+                saturated[p] += m.priorityDistribution[i];
+        }
+        ++n_benchmarks;
+        std::printf("[%s done]\n", profile.name.c_str());
+        std::fflush(stdout);
+    }
+
+    for (unsigned count = 0; count <= 8; ++count) {
+        std::vector<std::string> row = {std::to_string(count)};
+        for (std::size_t p = 0; p < policies.size(); ++p)
+            row.push_back(formatDouble(
+                100.0 * dist[p][count] / n_benchmarks, 1));
+        table.addRow(row);
+    }
+    std::printf("\nShare of L2 sets with k high-priority lines (%%):\n"
+                "%s\n",
+                table.render().c_str());
+    for (std::size_t p = 0; p < policies.size(); ++p)
+        std::printf("%-18s saturated (>=8) sets: %5.1f%%\n",
+                    policies[p].c_str(),
+                    100.0 * saturated[p] / n_benchmarks);
+    std::printf(
+        "\npaper shape: plain P(8):S&E saturates most sets on the\n"
+        "code-heavy benchmarks, while the random filter keeps\n"
+        "saturation below ~25%% of sets.\n");
+    return 0;
+}

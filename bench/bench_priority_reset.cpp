@@ -1,0 +1,57 @@
+/**
+ * @file
+ * §6 ablation: the priority-bit reset mechanism. The paper resets all
+ * P = 1 bits every 128M instructions in 1B-instruction runs and finds
+ * the performance impact negligible; this harness sweeps the reset
+ * period at window scale (reset every 1/8 of the window corresponds
+ * to the paper's ratio).
+ */
+
+#include "bench/bench_common.hh"
+#include "trace/program.hh"
+
+int
+main()
+{
+    using namespace emissary;
+    const auto options = bench::defaultOptions(1'500'000);
+    bench::banner("Priority-bit reset ablation",
+                  "§6 (reset every 128M of 1B instructions)", options);
+
+    const std::vector<std::string> subset = {"tomcat", "finagle-http",
+                                             "verilator",
+                                             "data-serving"};
+    const std::uint64_t window = options.measureInstructions;
+    const std::vector<std::pair<std::string, std::uint64_t>> periods =
+        {{"never", 0},
+         {"window/8 (paper ratio)", window / 8},
+         {"window/32", window / 32}};
+
+    stats::Table table({"benchmark", "reset period", "speedup%",
+                        "saturated sets%"});
+    for (const auto &name : subset) {
+        const trace::SyntheticProgram program(
+            trace::profileByName(name));
+        const core::Metrics base =
+            core::runPolicy(program, "TPLRU", options);
+        for (const auto &[label, period] : periods) {
+            core::RunOptions o = options;
+            o.priorityResetInstructions = period;
+            const core::Metrics m =
+                core::runPolicy(program, "P(8):S&E", o);
+            double saturated = 0.0;
+            for (std::size_t i = 8;
+                 i < m.priorityDistribution.size(); ++i)
+                saturated += m.priorityDistribution[i];
+            table.addRow(
+                {name, label,
+                 formatDouble(core::speedupPercent(base, m), 2),
+                 formatDouble(100.0 * saturated, 1)});
+        }
+        std::fflush(stdout);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper shape: the paper-ratio reset has negligible\n"
+                "performance impact while bounding saturation.\n");
+    return 0;
+}

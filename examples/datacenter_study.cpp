@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Datacenter study: the paper's headline experiment in miniature.
+ * Runs a benchmark subset under the TPLRU + FDIP baseline, the
+ * preferred EMISSARY configuration, and the strongest conventional
+ * comparator, then reports speedup, energy, and where the cycles
+ * went (decode starvation, FE/BE stalls).
+ *
+ * Usage: datacenter_study [instructions] [benchmark ...]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "stats/table.hh"
+#include "util/strutil.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace emissary;
+
+    const std::uint64_t instructions =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1'200'000;
+    std::vector<std::string> names;
+    for (int i = 2; i < argc; ++i)
+        names.emplace_back(argv[i]);
+    if (names.empty())
+        names = {"tomcat", "finagle-http", "verilator",
+                 "data-serving"};
+
+    core::RunOptions options;
+    options.measureInstructions = instructions;
+    options.warmupInstructions = instructions / 2;
+
+    const std::string emissary_policy = "P(8):S&E";
+    const std::string comparator = "DRRIP";
+
+    stats::Table table({"benchmark", "EMISSARY speedup%",
+                        "EMISSARY energy%", "DRRIP speedup%",
+                        "dStarv%", "dFEstall%"});
+    std::vector<double> emissary_speedups;
+    std::vector<double> comparator_speedups;
+
+    for (const auto &name : names) {
+        std::printf("simulating %s...\n", name.c_str());
+        std::fflush(stdout);
+        const trace::SyntheticProgram program(
+            trace::profileByName(name));
+        const core::Metrics base =
+            core::runPolicy(program, "TPLRU", options);
+        const core::Metrics emi =
+            core::runPolicy(program, emissary_policy, options);
+        const core::Metrics cmp =
+            core::runPolicy(program, comparator, options);
+
+        const double dstarv =
+            base.starvationIqEmptyCycles > 0
+                ? 100.0 *
+                      (static_cast<double>(
+                           emi.starvationIqEmptyCycles) -
+                       static_cast<double>(
+                           base.starvationIqEmptyCycles)) /
+                      static_cast<double>(base.starvationIqEmptyCycles)
+                : 0.0;
+        const double dfe =
+            base.feStallCycles > 0
+                ? 100.0 *
+                      (static_cast<double>(emi.feStallCycles) -
+                       static_cast<double>(base.feStallCycles)) /
+                      static_cast<double>(base.feStallCycles)
+                : 0.0;
+        const double se = core::speedupPercent(base, emi);
+        const double sc = core::speedupPercent(base, cmp);
+        emissary_speedups.push_back(se);
+        comparator_speedups.push_back(sc);
+        table.addRow({name, formatDouble(se, 2),
+                      formatDouble(
+                          core::energyReductionPercent(base, emi), 2),
+                      formatDouble(sc, 2), formatDouble(dstarv, 1),
+                      formatDouble(dfe, 1)});
+    }
+    std::printf("\n%s\n", table.render().c_str());
+    std::printf("geomean: EMISSARY %s  |  %s %s\n",
+                formatDouble(core::geomeanSpeedupPercent(
+                                 emissary_speedups),
+                             2)
+                    .c_str(),
+                comparator.c_str(),
+                formatDouble(core::geomeanSpeedupPercent(
+                                 comparator_speedups),
+                             2)
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: simulate one datacenter benchmark under the TPLRU
+ * baseline and the preferred EMISSARY configuration P(8):S&E&R(1/32),
+ * then print the headline comparison the paper makes (speedup, MPKI,
+ * starvation cycles, energy).
+ *
+ * Usage: quickstart [benchmark] [instructions]
+ *   benchmark     one of the 13 suite names (default: tomcat)
+ *   instructions  measured window length (default: 1000000)
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+#include "stats/table.hh"
+#include "util/strutil.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace emissary;
+
+    const std::string benchmark = argc > 1 ? argv[1] : "tomcat";
+    const std::uint64_t instructions =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1'000'000;
+
+    const trace::WorkloadProfile profile =
+        trace::profileByName(benchmark);
+    std::printf("Generating synthetic '%s' (code footprint target "
+                "%.2f MB)...\n",
+                profile.name.c_str(),
+                static_cast<double>(profile.codeFootprintBytes) /
+                    (1024.0 * 1024.0));
+    const trace::SyntheticProgram program(profile);
+
+    core::RunOptions options;
+    options.measureInstructions = instructions;
+    options.warmupInstructions = instructions / 4;
+
+    std::printf("Simulating TPLRU + FDIP baseline...\n");
+    const core::Metrics base = core::runPolicy(program, "TPLRU",
+                                               options);
+    std::printf("Simulating EMISSARY P(8):S&E&R(1/32)...\n");
+    const core::Metrics emi =
+        core::runPolicy(program, "P(8):S&E&R(1/32)", options);
+
+    stats::Table table({"metric", "TPLRU", "P(8):S&E&R(1/32)"});
+    auto row = [&table](const std::string &name, double a, double b,
+                        int decimals) {
+        table.addRow({name, formatDouble(a, decimals),
+                      formatDouble(b, decimals)});
+    };
+    row("IPC", base.ipc, emi.ipc, 3);
+    row("L1I MPKI", base.l1iMpki, emi.l1iMpki, 2);
+    row("L2 instruction MPKI", base.l2InstMpki, emi.l2InstMpki, 2);
+    row("L2 data MPKI", base.l2DataMpki, emi.l2DataMpki, 2);
+    row("starvation kilocycles",
+        static_cast<double>(base.starvationCycles) / 1000.0,
+        static_cast<double>(emi.starvationCycles) / 1000.0, 1);
+    row("starvation w/ empty IQ kilocycles",
+        static_cast<double>(base.starvationIqEmptyCycles) / 1000.0,
+        static_cast<double>(emi.starvationIqEmptyCycles) / 1000.0, 1);
+    row("energy (mJ)", base.energy.total() * 1e3,
+        emi.energy.total() * 1e3, 3);
+    std::printf("\n%s\n", table.render().c_str());
+
+    std::printf("speedup:          %s\n",
+                formatPercent(emi.speedupOver(base)).c_str());
+    std::printf("energy reduction: %s\n",
+                formatPercent(emi.energySavingOver(base)).c_str());
+    return 0;
+}

@@ -1,0 +1,201 @@
+#include "backend/backend.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace emissary::backend
+{
+
+namespace
+{
+
+std::uint64_t
+mixPc(std::uint64_t pc)
+{
+    std::uint64_t z = pc * 0x9e3779b97f4a7c15ULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Backend::Backend(const Config &config, cache::Hierarchy &hierarchy)
+    : config_(config), hierarchy_(hierarchy)
+{
+    completionRing_.assign(kRingSize, 0);
+}
+
+std::uint64_t
+Backend::depReady(std::uint64_t seq, std::uint64_t pc) const
+{
+    // A fraction of instructions pseudo-depend on one of their
+    // depWindow predecessors (chosen by a PC hash so a given static
+    // instruction has stable behaviour). This propagates load
+    // latency into consumers without full register renaming while
+    // leaving the renamer's ILP visible.
+    if (config_.depWindow == 0 || seq == 0)
+        return 0;
+    const std::uint64_t h = mixPc(pc);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u >= config_.depFraction)
+        return 0;
+    const std::uint64_t distance =
+        1 + (h >> 32) % config_.depWindow;
+    if (seq < distance)
+        return 0;
+    return completionRing_[(seq - distance) % kRingSize];
+}
+
+bool
+Backend::canAccept() const
+{
+    return rob_.size() < config_.robEntries &&
+           inFlightExec_ < config_.iqEntries &&
+           lqOccupancy_ < config_.lqEntries &&
+           sqOccupancy_ < config_.sqEntries;
+}
+
+void
+Backend::issueStage(std::uint64_t now,
+                    std::deque<core::DynInst> &decode_queue,
+                    std::optional<std::uint64_t> pending_line)
+{
+    if (decode_queue.empty()) {
+        // Decode starvation (§3): the decode stage wants to pull but
+        // the queue feeding it is empty. It only counts as starvation
+        // when the back-end could actually accept instructions (a
+        // stalled decode cannot starve).
+        if (canAccept()) {
+            if (pending_line) {
+                ++stats_.starvationCycles;
+                const bool iq_empty = issueQueueEmpty();
+                if (iq_empty)
+                    ++stats_.starvationIqEmptyCycles;
+                hierarchy_.noteStarvation(*pending_line, iq_empty);
+            } else {
+                ++stats_.resteerEmptyCycles;
+            }
+        }
+        return;
+    }
+
+    unsigned moved = 0;
+    while (moved < config_.width && !decode_queue.empty() &&
+           canAccept()) {
+        const core::DynInst inst = decode_queue.front();
+        decode_queue.pop_front();
+
+        const std::uint64_t dep = depReady(inst.seq, inst.rec.pc);
+        const std::uint64_t start = std::max(now, dep);
+        std::uint64_t complete;
+        bool is_load = false;
+        bool is_store = false;
+
+        switch (inst.rec.cls) {
+          case trace::InstClass::Load: {
+            is_load = true;
+            ++stats_.loads;
+            // Pointer chasing: a slice of loads (linked structures)
+            // cannot issue until the previous load's value arrives.
+            std::uint64_t issue = now;
+            const std::uint64_t h2 = mixPc(inst.rec.pc * 31);
+            if (static_cast<double>(h2 >> 11) * 0x1.0p-53 <
+                config_.loadChainFraction) {
+                issue = std::max(issue, lastLoadComplete_);
+            }
+            const std::uint64_t mem_ready = hierarchy_.requestData(
+                inst.rec.memAddr >> 6, issue, /*write=*/false);
+            complete = std::max({start + 1, issue + 1, mem_ready});
+            lastLoadComplete_ = complete;
+            ++lqOccupancy_;
+            break;
+          }
+          case trace::InstClass::Store: {
+            is_store = true;
+            ++stats_.stores;
+            // Stores retire through the store queue; the fill/dirty
+            // traffic is modelled but does not gate completion.
+            hierarchy_.requestData(inst.rec.memAddr >> 6, now,
+                                   /*write=*/true);
+            complete = start + config_.storeLatency;
+            ++sqOccupancy_;
+            break;
+          }
+          case trace::InstClass::IntMul:
+            complete = start + config_.mulLatency;
+            break;
+          case trace::InstClass::FpAlu:
+            complete = start + config_.fpLatency;
+            break;
+          case trace::InstClass::CondBranch:
+          case trace::InstClass::DirectJump:
+          case trace::InstClass::IndirectJump:
+          case trace::InstClass::Call:
+          case trace::InstClass::IndirectCall:
+          case trace::InstClass::Return:
+            complete = start + config_.branchLatency;
+            break;
+          default:
+            complete = start + config_.intLatency;
+            break;
+        }
+
+        completionRing_[inst.seq % kRingSize] = complete;
+        rob_.push_back(RobEntry{inst.seq, complete, is_store});
+        pending_.push(Pending{complete, inst.seq, is_load,
+                              inst.mispredicted});
+        ++inFlightExec_;
+        ++stats_.issued;
+        ++moved;
+    }
+    if (moved > 0)
+        ++stats_.decodeActiveCycles;
+}
+
+void
+Backend::executeStage(std::uint64_t now)
+{
+    bool any = false;
+    while (!pending_.empty() && pending_.top().cycle <= now) {
+        const Pending done = pending_.top();
+        pending_.pop();
+        assert(inFlightExec_ > 0);
+        --inFlightExec_;
+        if (done.isLoad) {
+            assert(lqOccupancy_ > 0);
+            --lqOccupancy_;
+        }
+        if (done.mispredicted) {
+            ++stats_.branchesResolved;
+            if (resolve_)
+                resolve_(done.seq, done.cycle);
+        }
+        any = true;
+    }
+    if (any)
+        ++stats_.issueActiveCycles;
+}
+
+void
+Backend::commitStage(std::uint64_t now)
+{
+    ++stats_.cycles;
+    unsigned committed = 0;
+    while (committed < config_.width && !rob_.empty() &&
+           rob_.front().completeCycle <= now) {
+        if (rob_.front().isStore) {
+            assert(sqOccupancy_ > 0);
+            --sqOccupancy_;
+        }
+        rob_.pop_front();
+        ++committed;
+    }
+    stats_.committed += committed;
+    if (committed == 0) {
+        if (rob_.empty())
+            ++stats_.feStallCycles;
+        else
+            ++stats_.beStallCycles;
+    }
+}
+
+} // namespace emissary::backend

@@ -1,0 +1,205 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/bitutil.hh"
+
+namespace emissary::cache
+{
+
+Cache::Cache(const Config &config)
+    : config_(config), spec_(config.policy), rng_(config.seed)
+{
+    const std::uint64_t lines =
+        config_.sizeBytes / config_.lineBytes;
+    if (lines == 0 || lines % config_.ways != 0)
+        throw std::invalid_argument(config_.name +
+                                    ": size/ways mismatch");
+    sets_ = static_cast<unsigned>(lines / config_.ways);
+    if (!isPowerOfTwo(sets_))
+        throw std::invalid_argument(config_.name +
+                                    ": set count must be a power of 2");
+    setShift_ = floorLog2(sets_);
+    lines_.assign(std::size_t{sets_} * config_.ways, CacheLine{});
+    policy_ = replacement::makePolicy(spec_, sets_, config_.ways,
+                                      config_.seed ^ 0x9E3779B9ULL);
+}
+
+unsigned
+Cache::setIndex(std::uint64_t line_addr) const
+{
+    return static_cast<unsigned>(line_addr & (sets_ - 1));
+}
+
+CacheLine &
+Cache::lineAt(unsigned set, unsigned way)
+{
+    return lines_[std::size_t{set} * config_.ways + way];
+}
+
+const CacheLine &
+Cache::lineAt(unsigned set, unsigned way) const
+{
+    return lines_[std::size_t{set} * config_.ways + way];
+}
+
+int
+Cache::findWay(unsigned set, std::uint64_t tag) const
+{
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        const CacheLine &line = lineAt(set, w);
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+const CacheLine *
+Cache::peek(std::uint64_t line_addr) const
+{
+    const unsigned set = setIndex(line_addr);
+    const int way = findWay(set, line_addr >> setShift_);
+    return way < 0 ? nullptr : &lineAt(set, static_cast<unsigned>(way));
+}
+
+CacheLine *
+Cache::peek(std::uint64_t line_addr)
+{
+    const unsigned set = setIndex(line_addr);
+    const int way = findWay(set, line_addr >> setShift_);
+    return way < 0 ? nullptr : &lineAt(set, static_cast<unsigned>(way));
+}
+
+void
+Cache::touch(std::uint64_t line_addr)
+{
+    const unsigned set = setIndex(line_addr);
+    const int way = findWay(set, line_addr >> setShift_);
+    assert(way >= 0 && "touch on absent line");
+    CacheLine &line = lineAt(set, static_cast<unsigned>(way));
+    line.prefetched = false;
+    replacement::LineInfo info;
+    info.isInstruction = line.isInstruction;
+    info.highPriority = line.priority;
+    policy_->onHit(set, static_cast<unsigned>(way), info);
+}
+
+Cache::Eviction
+Cache::insert(std::uint64_t line_addr, const replacement::LineInfo &info,
+              bool is_instruction, bool dirty, bool sfl, bool prefetched)
+{
+    const unsigned set = setIndex(line_addr);
+    const std::uint64_t tag = line_addr >> setShift_;
+    assert(findWay(set, tag) < 0 && "double insert");
+
+    Eviction evicted;
+    int way = -1;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (!lineAt(set, w).valid) {
+            way = static_cast<int>(w);
+            break;
+        }
+    }
+    if (way < 0) {
+        way = static_cast<int>(policy_->selectVictim(set));
+        CacheLine &victim = lineAt(set, static_cast<unsigned>(way));
+        evicted.valid = true;
+        evicted.lineAddr = (victim.tag << setShift_) | set;
+        evicted.line = victim;
+        policy_->onInvalidate(set, static_cast<unsigned>(way));
+        victim = CacheLine{};
+    }
+
+    CacheLine &line = lineAt(set, static_cast<unsigned>(way));
+    line.valid = true;
+    line.tag = tag;
+    line.dirty = dirty;
+    line.isInstruction = is_instruction;
+    line.priority = info.highPriority;
+    line.sfl = sfl;
+    line.prefetched = prefetched;
+    policy_->onInsert(set, static_cast<unsigned>(way), info);
+    return evicted;
+}
+
+Cache::Eviction
+Cache::invalidate(std::uint64_t line_addr)
+{
+    const unsigned set = setIndex(line_addr);
+    const int way = findWay(set, line_addr >> setShift_);
+    Eviction out;
+    if (way < 0)
+        return out;
+    CacheLine &line = lineAt(set, static_cast<unsigned>(way));
+    out.valid = true;
+    out.lineAddr = line_addr;
+    out.line = line;
+    policy_->onInvalidate(set, static_cast<unsigned>(way));
+    line = CacheLine{};
+    return out;
+}
+
+void
+Cache::noteDemandMiss(std::uint64_t line_addr)
+{
+    policy_->onMiss(setIndex(line_addr));
+}
+
+void
+Cache::markDirty(std::uint64_t line_addr)
+{
+    CacheLine *line = peek(line_addr);
+    assert(line && "markDirty on absent line");
+    line->dirty = true;
+}
+
+void
+Cache::raisePriority(std::uint64_t line_addr)
+{
+    const unsigned set = setIndex(line_addr);
+    const int way = findWay(set, line_addr >> setShift_);
+    if (way < 0)
+        return;
+    CacheLine &line = lineAt(set, static_cast<unsigned>(way));
+    if (!line.priority &&
+        policy_->setPriority(set, static_cast<unsigned>(way), true)) {
+        line.priority = true;
+    }
+}
+
+void
+Cache::resetPriorities()
+{
+    for (auto &line : lines_)
+        line.priority = false;
+    policy_->resetPriorities();
+}
+
+stats::DenseHistogram
+Cache::priorityDistribution() const
+{
+    stats::DenseHistogram hist(config_.ways + 1);
+    for (unsigned set = 0; set < sets_; ++set) {
+        unsigned count = 0;
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            const CacheLine &line = lineAt(set, w);
+            if (line.valid && line.priority)
+                ++count;
+        }
+        hist.sample(std::min(count, config_.ways));
+    }
+    return hist;
+}
+
+std::uint64_t
+Cache::highPriorityLineCount() const
+{
+    std::uint64_t count = 0;
+    for (const auto &line : lines_)
+        if (line.valid && line.priority)
+            ++count;
+    return count;
+}
+
+} // namespace emissary::cache

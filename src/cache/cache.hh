@@ -1,0 +1,147 @@
+/**
+ * @file
+ * A single set-associative cache array.
+ *
+ * The cache owns line state (tag, valid, dirty, instruction/data,
+ * the EMISSARY priority bit, and the SFL origin bit) and delegates
+ * victim choice and recency bookkeeping to a ReplacementPolicy.
+ * Timing lives in the Hierarchy; this class is purely structural.
+ */
+
+#ifndef EMISSARY_CACHE_CACHE_HH
+#define EMISSARY_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replacement/spec.hh"
+#include "stats/histogram.hh"
+#include "util/rng.hh"
+
+namespace emissary::cache
+{
+
+/** State of one cache line. */
+struct CacheLine
+{
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool isInstruction = false;
+    /** EMISSARY sticky priority bit P (meaningful in L1I and L2). */
+    bool priority = false;
+    /** Served-From-Last-level origin bit (L2 only, §5.1). */
+    bool sfl = false;
+    /** Filled by a prefetch and not yet demanded. */
+    bool prefetched = false;
+};
+
+/** One set-associative array plus its replacement policy. */
+class Cache
+{
+  public:
+    struct Config
+    {
+        std::string name = "cache";
+        std::uint64_t sizeBytes = 1 << 20;
+        unsigned ways = 16;
+        unsigned lineBytes = 64;
+        unsigned hitLatency = 12;
+        replacement::PolicySpec policy;
+        std::uint64_t seed = 0xCAFEF00DULL;
+    };
+
+    /** What insert() pushed out, if anything. */
+    struct Eviction
+    {
+        bool valid = false;
+        std::uint64_t lineAddr = 0;
+        CacheLine line;
+    };
+
+    explicit Cache(const Config &config);
+
+    const Config &config() const { return config_; }
+    unsigned numSets() const { return sets_; }
+    unsigned numWays() const { return config_.ways; }
+
+    /** Set index for a line address (address already >> line bits). */
+    unsigned setIndex(std::uint64_t line_addr) const;
+
+    /** Non-mutating lookup; nullptr when absent. */
+    const CacheLine *peek(std::uint64_t line_addr) const;
+    CacheLine *peek(std::uint64_t line_addr);
+
+    /** Hit path: update replacement state; line must be present. */
+    void touch(std::uint64_t line_addr);
+
+    /**
+     * Fill @p line_addr, evicting if the set is full.
+     *
+     * @param line_addr Line address to fill.
+     * @param info Replacement-policy context (priority, MRU hint).
+     * @param is_instruction Line holds instructions.
+     * @param dirty Fill already dirty (write-allocate store).
+     * @param sfl Served-from-L3 origin bit.
+     * @param prefetched Filled by a prefetch.
+     * @return The displaced line, if any.
+     */
+    Eviction insert(std::uint64_t line_addr,
+                    const replacement::LineInfo &info,
+                    bool is_instruction, bool dirty, bool sfl,
+                    bool prefetched);
+
+    /**
+     * Remove a line (back-invalidation / exclusive promotion).
+     * @return The removed line state; Eviction::valid false if absent.
+     */
+    Eviction invalidate(std::uint64_t line_addr);
+
+    /** Demand-miss feedback to set-dueling policies. */
+    void noteDemandMiss(std::uint64_t line_addr);
+
+    /** Mark a store hit dirty. */
+    void markDirty(std::uint64_t line_addr);
+
+    /** EMISSARY: raise the priority bit of a resident line. */
+    void raisePriority(std::uint64_t line_addr);
+
+    /** EMISSARY §6: clear every priority bit (cache + policy). */
+    void resetPriorities();
+
+    /** Per-set count of P=1 lines, as a histogram over 0..ways
+     *  (counts above ways are clamped); Fig. 8. */
+    stats::DenseHistogram priorityDistribution() const;
+
+    /** Number of resident lines with P=1 (testing). */
+    std::uint64_t highPriorityLineCount() const;
+
+    replacement::ReplacementPolicy &policy() { return *policy_; }
+    const replacement::ReplacementPolicy &policy() const
+    {
+        return *policy_;
+    }
+    const replacement::PolicySpec &spec() const { return spec_; }
+
+    /** RNG used for mode selection draws (R(r) terms). */
+    Rng &selectionRng() { return rng_; }
+
+  private:
+    CacheLine &lineAt(unsigned set, unsigned way);
+    const CacheLine &lineAt(unsigned set, unsigned way) const;
+    int findWay(unsigned set, std::uint64_t tag) const;
+
+    Config config_;
+    replacement::PolicySpec spec_;
+    unsigned sets_;
+    unsigned setShift_;
+    std::vector<CacheLine> lines_;
+    std::unique_ptr<replacement::ReplacementPolicy> policy_;
+    Rng rng_;
+};
+
+} // namespace emissary::cache
+
+#endif // EMISSARY_CACHE_CACHE_HH

@@ -1,0 +1,357 @@
+#include "cache/hierarchy.hh"
+
+#include <cassert>
+
+namespace emissary::cache
+{
+
+Hierarchy::Hierarchy(const Config &config)
+    : config_(config),
+      l1i_(config.l1i),
+      l1d_(config.l1d),
+      l2_(config.l2),
+      l3_(config.l3)
+{
+}
+
+std::uint64_t
+Hierarchy::requestInstruction(std::uint64_t line_addr, std::uint64_t now,
+                              RequestKind kind)
+{
+    const bool demandish = kind != RequestKind::Nlp;
+
+    if (demandish)
+        ++stats_.l1iAccesses;
+
+    if (l1i_.peek(line_addr)) {
+        l1i_.touch(line_addr);
+        return now + config_.l1i.hitLatency;
+    }
+
+    const auto it = mshr_.find(line_addr);
+    if (it != mshr_.end()) {
+        if (demandish)
+            ++stats_.l1iMisses;
+        return it->second.readyCycle;
+    }
+
+    if (demandish)
+        ++stats_.l1iMisses;
+
+    const std::uint64_t ready =
+        missBelowL1(line_addr, now, true, false, demandish);
+
+    if (config_.nextLinePrefetch && kind == RequestKind::Demand) {
+        ++stats_.nlpIssued;
+        requestInstruction(line_addr + 1, now, RequestKind::Nlp);
+    }
+    return ready;
+}
+
+std::uint64_t
+Hierarchy::requestData(std::uint64_t line_addr, std::uint64_t now,
+                       bool write, RequestKind kind)
+{
+    const bool demandish = kind != RequestKind::Nlp;
+
+    if (demandish)
+        ++stats_.l1dAccesses;
+
+    if (l1d_.peek(line_addr)) {
+        l1d_.touch(line_addr);
+        if (write)
+            l1d_.markDirty(line_addr);
+        return now + config_.l1d.hitLatency;
+    }
+
+    const auto it = mshr_.find(line_addr);
+    if (it != mshr_.end()) {
+        if (demandish)
+            ++stats_.l1dMisses;
+        it->second.write = it->second.write || write;
+        return it->second.readyCycle;
+    }
+
+    if (demandish)
+        ++stats_.l1dMisses;
+
+    const std::uint64_t ready =
+        missBelowL1(line_addr, now, false, write, demandish);
+
+    if (config_.nextLinePrefetch && kind == RequestKind::Demand) {
+        ++stats_.nlpIssued;
+        requestData(line_addr + 1, now, false, RequestKind::Nlp);
+    }
+    return ready;
+}
+
+std::uint64_t
+Hierarchy::missBelowL1(std::uint64_t line_addr, std::uint64_t now,
+                       bool is_instruction, bool write, bool demandish)
+{
+    const unsigned l1_latency = is_instruction ? config_.l1i.hitLatency
+                                               : config_.l1d.hitLatency;
+    unsigned latency = l1_latency;
+    Mshr entry;
+    entry.isInstruction = is_instruction;
+    entry.write = write;
+
+    if (demandish) {
+        if (is_instruction) {
+            ++stats_.l2InstAccesses;
+            if (observer_)
+                observer_->onL2InstAccess(line_addr);
+        } else {
+            ++stats_.l2DataAccesses;
+        }
+    }
+
+    if (CacheLine *l2_line = l2_.peek(line_addr)) {
+        if (is_instruction && l2_line->priority)
+            ++stats_.l2InstHitsProtected;
+        l2_.touch(line_addr);
+        latency += config_.l2.hitLatency;
+        entry.source = FillSource::L2;
+    } else {
+        if (demandish) {
+            if (is_instruction) {
+                ++stats_.l2InstMisses;
+                if (starvationMapEnabled_)
+                    ++l2InstMissByLine_[line_addr];
+                if (observer_)
+                    observer_->onL2InstMiss(line_addr);
+            } else {
+                ++stats_.l2DataMisses;
+            }
+            l2_.noteDemandMiss(line_addr);
+        }
+
+        ++stats_.l3Accesses;
+        if (l3_.peek(line_addr)) {
+            latency += config_.l2.hitLatency + config_.l3.hitLatency;
+            entry.source = FillSource::L3;
+        } else {
+            ++stats_.l3Misses;
+            ++stats_.dramReads;
+            latency += config_.l2.hitLatency + config_.l3.hitLatency +
+                       config_.dramLatency;
+            entry.source = FillSource::Memory;
+        }
+
+        if (config_.idealL2Inst && is_instruction) {
+            if (seenL2Inst_.count(line_addr)) {
+                // Capacity/conflict miss in the §5.6 ideal model:
+                // the fill still happens but latency collapses to an
+                // L2 hit.
+                latency = l1_latency + config_.l2.hitLatency;
+                entry.idealHidden = true;
+                ++stats_.idealHiddenMisses;
+            }
+            seenL2Inst_.insert(line_addr);
+        }
+    }
+
+    entry.readyCycle = now + latency;
+    mshr_.emplace(line_addr, entry);
+    completions_.emplace(entry.readyCycle, line_addr);
+    return entry.readyCycle;
+}
+
+void
+Hierarchy::noteStarvation(std::uint64_t line_addr, bool iq_empty)
+{
+    const auto it = mshr_.find(line_addr);
+    if (it == mshr_.end())
+        return;
+    it->second.starved = true;
+    it->second.iqEmpty = it->second.iqEmpty || iq_empty;
+    ++it->second.starveCycles;
+    if (starvationMapEnabled_)
+        ++starvationByLine_[line_addr];
+    if (observer_)
+        observer_->onStarvationCycle(line_addr);
+}
+
+void
+Hierarchy::handleL2Eviction(const Cache::Eviction &ev)
+{
+    if (!ev.valid)
+        return;
+
+    bool dirty = ev.line.dirty;
+    if (ev.line.priority)
+        ++stats_.l2ProtectedEvictions;
+
+    // Inclusive L2: remove stale copies from the L1s. A displaced
+    // L1I priority bit dies with the line (it is leaving both
+    // caches); a dirty L1D copy folds its data into the victim.
+    l1i_.invalidate(ev.lineAddr);
+    const Cache::Eviction d = l1d_.invalidate(ev.lineAddr);
+    if (d.valid && d.line.dirty)
+        dirty = true;
+
+    // Exclusive victim L3: the line enters L3 only now. The SFL bit
+    // recorded at L2-fill time selects MRU insertion (§5.1).
+    replacement::LineInfo info;
+    info.isInstruction = ev.line.isInstruction;
+    info.insertMru = ev.line.sfl;
+    const Cache::Eviction l3_ev = l3_.insert(
+        ev.lineAddr, info, ev.line.isInstruction, dirty,
+        /*sfl=*/false, /*prefetched=*/false);
+    if (l3_ev.valid && l3_ev.line.dirty)
+        ++stats_.dramWrites;
+}
+
+void
+Hierarchy::fillL2(std::uint64_t line_addr, bool is_instruction,
+                  bool high_priority, bool sfl)
+{
+    if (l2_.peek(line_addr))
+        return;  // Raced with another fill path; already resident.
+
+    replacement::LineInfo info;
+    info.isInstruction = is_instruction;
+    info.highPriority = high_priority;
+    const Cache::Eviction ev =
+        l2_.insert(line_addr, info, is_instruction, /*dirty=*/false,
+                   sfl, /*prefetched=*/false);
+    handleL2Eviction(ev);
+}
+
+void
+Hierarchy::complete(std::uint64_t line_addr, Mshr &entry)
+{
+    if (entry.starveCycles > 0) {
+        switch (entry.source) {
+          case FillSource::L2:
+            stats_.starveCyclesL2 += entry.starveCycles;
+            break;
+          case FillSource::L3:
+            stats_.starveCyclesL3 += entry.starveCycles;
+            break;
+          case FillSource::Memory:
+            stats_.starveCyclesMem += entry.starveCycles;
+            break;
+        }
+    }
+
+    replacement::MissContext ctx;
+    ctx.isInstruction = entry.isInstruction;
+    ctx.causedStarvation = entry.starved;
+    ctx.issueQueueEmpty = entry.iqEmpty;
+
+    const replacement::PolicySpec &l2_spec = l2_.spec();
+    const bool emissary_l2 =
+        l2_spec.family == replacement::PolicyFamily::EmissaryP;
+    const bool emissary_l1i =
+        l1i_.spec().family == replacement::PolicyFamily::EmissaryP;
+
+    // Mode selection happens exactly once per miss (§4.1). When the
+    // §3 ablation runs EMISSARY at the L1I instead of (or as well as)
+    // the L2, the L1I's own selector is evaluated with the same miss
+    // context.
+    bool selected = false;
+    if (entry.isInstruction || !emissary_l2)
+        selected = l2_spec.computePriority(ctx, l2_.selectionRng());
+    bool l1i_selected = false;
+    if (emissary_l1i && entry.isInstruction)
+        l1i_selected =
+            l1i_.spec().computePriority(ctx, l1i_.selectionRng());
+
+    // The L2 insertion. Under P(N) policies the L2 copy starts
+    // low-priority: priority is only communicated by a later L1I
+    // eviction (§3). Under M: policies the selection decides the
+    // insertion position right here.
+    if (entry.source != FillSource::L2) {
+        bool sfl = false;
+        if (entry.source == FillSource::L3) {
+            l3_.invalidate(line_addr);  // exclusive: move, not copy
+            sfl = true;
+        }
+        const bool bypass = config_.bypassLowPriorityInst &&
+                            emissary_l2 && entry.isInstruction &&
+                            !selected;
+        if (!bypass) {
+            const bool l2_priority = emissary_l2 ? false : selected;
+            fillL2(line_addr, entry.isInstruction, l2_priority, sfl);
+        }
+    }
+
+    if (entry.isInstruction) {
+        // The L1I copy carries the EMISSARY priority bit: set by this
+        // miss's selection outcome, or inherited from a resident L2
+        // copy (priority never changes while the line lives in either
+        // cache).
+        bool l1_priority = (emissary_l2 && selected) || l1i_selected;
+        if (const CacheLine *l2_line = l2_.peek(line_addr))
+            l1_priority = l1_priority || l2_line->priority;
+        if (l1_priority)
+            ++stats_.highPriorityFills;
+
+        replacement::LineInfo info;
+        info.isInstruction = true;
+        info.highPriority = l1_priority;
+        const Cache::Eviction ev = l1i_.insert(
+            line_addr, info, /*is_instruction=*/true, /*dirty=*/false,
+            /*sfl=*/false, /*prefetched=*/false);
+        if (ev.valid && ev.line.priority) {
+            // L1I eviction communicates starvation history to the L2
+            // copy (§3) — the heart of EMISSARY's persistence.
+            l2_.raisePriority(ev.lineAddr);
+            ++stats_.priorityUpgrades;
+        }
+    } else {
+        replacement::LineInfo info;
+        info.isInstruction = false;
+        info.highPriority = false;
+        const Cache::Eviction ev = l1d_.insert(
+            line_addr, info, /*is_instruction=*/false, entry.write,
+            /*sfl=*/false, /*prefetched=*/false);
+        if (ev.valid && ev.line.dirty) {
+            // Write back into L2 (present by inclusion except when a
+            // concurrent L2 eviction already pushed it out).
+            if (l2_.peek(ev.lineAddr))
+                l2_.markDirty(ev.lineAddr);
+            else
+                ++stats_.dramWrites;
+        }
+    }
+}
+
+void
+Hierarchy::tick(std::uint64_t now)
+{
+    while (!completions_.empty() && completions_.top().first <= now) {
+        const std::uint64_t line_addr = completions_.top().second;
+        completions_.pop();
+        const auto it = mshr_.find(line_addr);
+        if (it == mshr_.end())
+            continue;  // Stale heap entry.
+        if (it->second.readyCycle > now)
+            continue;
+        Mshr entry = it->second;
+        mshr_.erase(it);
+        complete(line_addr, entry);
+    }
+}
+
+void
+Hierarchy::drain()
+{
+    while (!completions_.empty())
+        completions_.pop();
+    for (auto &[line_addr, entry] : mshr_) {
+        Mshr copy = entry;
+        complete(line_addr, copy);
+    }
+    mshr_.clear();
+}
+
+void
+Hierarchy::resetPriorities()
+{
+    l1i_.resetPriorities();
+    l2_.resetPriorities();
+}
+
+} // namespace emissary::cache

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Three-level cache hierarchy of the Alderlake-like model (Table 4):
+ * private L1I/L1D, a unified inclusive L2 (where the EMISSARY policy
+ * runs), and a shared exclusive victim L3 with DRRIP + the SFL
+ * (Served-From-Last-level) insertion hint.
+ *
+ * Timing model: a request resolves its hit level immediately and
+ * returns the cycle at which the line becomes usable; state changes
+ * (fills, evictions, priority selection) are applied when that cycle
+ * is reached, via tick(). Outstanding misses live in an MSHR table;
+ * requests to an in-flight line merge with it. Decode-starvation
+ * evidence is accumulated on the MSHR entry while the miss is
+ * outstanding (the paper's observation that the signal is known
+ * "many cycles before the line ... is inserted into the cache", §3)
+ * and consumed by mode selection when the fill completes.
+ */
+
+#ifndef EMISSARY_CACHE_HIERARCHY_HH
+#define EMISSARY_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.hh"
+
+namespace emissary::cache
+{
+
+/** Who is asking; decides which MPKI counters move. */
+enum class RequestKind : std::uint8_t
+{
+    Demand,  ///< Core-side demand (fetch delivering / load / store).
+    Fdip,    ///< FDIP instruction prefetch (fetch path; counts in
+             ///< the paper's L1I / L2-instruction MPKI).
+    Nlp,     ///< Next-line prefetch (does not count in MPKI).
+};
+
+/**
+ * Observer for per-event attribution (Fig. 2 benches): called at the
+ * moment an event happens so the listener can classify it with
+ * event-time context (e.g. the blamed line's current reuse class).
+ */
+class HierarchyObserver
+{
+  public:
+    virtual ~HierarchyObserver() = default;
+    /** A fetch-path L2 instruction miss for @p line_addr. */
+    virtual void onL2InstMiss(std::uint64_t line_addr) = 0;
+    /** One decode-starvation cycle blamed on @p line_addr. */
+    virtual void onStarvationCycle(std::uint64_t line_addr) = 0;
+    /** A fetch-path L2 instruction access (hit or miss); default
+     *  no-op so existing observers are unaffected. */
+    virtual void
+    onL2InstAccess(std::uint64_t line_addr)
+    {
+        (void)line_addr;
+    }
+};
+
+/** Aggregate hierarchy statistics for one measurement window. */
+struct HierarchyStats
+{
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2InstAccesses = 0;
+    std::uint64_t l2InstMisses = 0;
+    std::uint64_t l2DataAccesses = 0;
+    std::uint64_t l2DataMisses = 0;
+    std::uint64_t l3Accesses = 0;
+    std::uint64_t l3Misses = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t nlpIssued = 0;
+    std::uint64_t highPriorityFills = 0;  ///< L1I fills with P=1.
+    std::uint64_t priorityUpgrades = 0;   ///< L1I evicts raising L2 P.
+    std::uint64_t l2InstHitsProtected = 0; ///< L2 I-hits on P=1 lines.
+    std::uint64_t l2ProtectedEvictions = 0; ///< P=1 lines evicted.
+    std::uint64_t idealHiddenMisses = 0;  ///< §5.6 ideal-L2I saves.
+    /** Starvation cycles attributed to misses served by each level
+     *  (classified when the starved fill completes). */
+    std::uint64_t starveCyclesL2 = 0;
+    std::uint64_t starveCyclesL3 = 0;
+    std::uint64_t starveCyclesMem = 0;
+
+    void reset() { *this = HierarchyStats{}; }
+};
+
+/** The three-level hierarchy. */
+class Hierarchy
+{
+  public:
+    struct Config
+    {
+        Cache::Config l1i;
+        Cache::Config l1d;
+        Cache::Config l2;
+        Cache::Config l3;
+        unsigned dramLatency = 200;
+        bool nextLinePrefetch = true;
+        /** §5.6 ideal model: capacity/conflict L2 instruction misses
+         *  complete with L2-hit latency. */
+        bool idealL2Inst = false;
+        /** §2 ablation: unselected (low-priority) instruction lines
+         *  bypass the L2 on fill. The paper found this ineffective;
+         *  the flag exists to reproduce that finding. */
+        bool bypassLowPriorityInst = false;
+    };
+
+    explicit Hierarchy(const Config &config);
+
+    /**
+     * Request an instruction line (fetch or FDIP path).
+     * @return Cycle at which the line is readable from L1I.
+     */
+    std::uint64_t requestInstruction(std::uint64_t line_addr,
+                                     std::uint64_t now,
+                                     RequestKind kind);
+
+    /**
+     * Request a data line (load/store path).
+     * @return Cycle at which the access completes.
+     */
+    std::uint64_t requestData(std::uint64_t line_addr,
+                              std::uint64_t now, bool write,
+                              RequestKind kind = RequestKind::Demand);
+
+    /**
+     * Record that decode starved this cycle while waiting on
+     * @p line_addr; @p iq_empty is the issue-queue-empty signal E.
+     * No-op when the line has no outstanding miss.
+     */
+    void noteStarvation(std::uint64_t line_addr, bool iq_empty);
+
+    /** Apply fills whose completion time has been reached. */
+    void tick(std::uint64_t now);
+
+    /** Force-complete every outstanding fill (end of simulation). */
+    void drain();
+
+    /** EMISSARY §6: clear every priority bit in L1I and L2. */
+    void resetPriorities();
+
+    /** Enable per-line starvation-cycle accounting (Fig. 2 bench and
+     *  diagnosis; off by default to keep the hot path lean). */
+    void enableStarvationMap(bool on) { starvationMapEnabled_ = on; }
+
+    /** Register an event-time observer (nullptr to clear). */
+    void setObserver(HierarchyObserver *observer)
+    {
+        observer_ = observer;
+    }
+
+    /** Per-line starvation cycles (only when enabled). */
+    const std::unordered_map<std::uint64_t, std::uint64_t> &
+    starvationByLine() const
+    {
+        return starvationByLine_;
+    }
+
+    /** Per-line L2 instruction misses (only when enabled). */
+    const std::unordered_map<std::uint64_t, std::uint64_t> &
+    l2InstMissByLine() const
+    {
+        return l2InstMissByLine_;
+    }
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    Cache &l3() { return l3_; }
+    const Cache &l2() const { return l2_; }
+
+    HierarchyStats &stats() { return stats_; }
+    const HierarchyStats &stats() const { return stats_; }
+
+    const Config &config() const { return config_; }
+
+    /** Outstanding-miss count (testing). */
+    std::size_t outstanding() const { return mshr_.size(); }
+
+  private:
+    enum class FillSource : std::uint8_t { L2, L3, Memory };
+
+    struct Mshr
+    {
+        std::uint64_t readyCycle = 0;
+        FillSource source = FillSource::Memory;
+        bool isInstruction = false;
+        bool write = false;
+        bool starved = false;
+        bool iqEmpty = false;
+        std::uint32_t starveCycles = 0;
+        /** §5.6: latency was collapsed by the ideal-L2I model. */
+        bool idealHidden = false;
+    };
+
+    /** Shared miss path after the L1 probe. */
+    std::uint64_t missBelowL1(std::uint64_t line_addr,
+                              std::uint64_t now, bool is_instruction,
+                              bool write, bool demandish);
+
+    /** Apply the fill actions of a completed miss. */
+    void complete(std::uint64_t line_addr, Mshr &entry);
+
+    /** Insert into L2, handling inclusion and the victim path. */
+    void fillL2(std::uint64_t line_addr, bool is_instruction,
+                bool high_priority, bool sfl);
+
+    /** Handle an L2 eviction: back-invalidate, place into L3. */
+    void handleL2Eviction(const Cache::Eviction &ev);
+
+    Config config_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Cache l3_;
+    HierarchyStats stats_;
+
+    std::unordered_map<std::uint64_t, Mshr> mshr_;
+    using HeapItem = std::pair<std::uint64_t, std::uint64_t>;
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>>
+        completions_;
+
+    /** Instruction lines previously resident in L2 (§5.6 ideal
+     *  model's capacity/conflict-vs-compulsory distinction). */
+    std::unordered_set<std::uint64_t> seenL2Inst_;
+
+    HierarchyObserver *observer_ = nullptr;
+    bool starvationMapEnabled_ = false;
+    std::unordered_map<std::uint64_t, std::uint64_t> starvationByLine_;
+    std::unordered_map<std::uint64_t, std::uint64_t> l2InstMissByLine_;
+};
+
+} // namespace emissary::cache
+
+#endif // EMISSARY_CACHE_HIERARCHY_HH

@@ -1,0 +1,101 @@
+#include "core/experiment.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/simulator.hh"
+#include "trace/executor.hh"
+#include "util/strutil.hh"
+
+namespace emissary::core
+{
+
+Metrics
+runPolicy(const trace::SyntheticProgram &program,
+          const std::string &l2_policy, const RunOptions &options)
+{
+    MachineOptions machine_options;
+    machine_options.l2Policy = l2_policy;
+    machine_options.l1iPolicy = options.l1iPolicy;
+    machine_options.emissaryTreePlru = options.emissaryTreePlru;
+    machine_options.bypassLowPriorityInst =
+        options.bypassLowPriorityInst;
+    machine_options.fdip = options.fdip;
+    machine_options.nextLinePrefetch = options.nextLinePrefetch;
+    machine_options.idealL2Inst = options.idealL2Inst;
+    machine_options.seed = options.seed;
+
+    Simulator::Config sim_config;
+    sim_config.machine = alderlakeConfig(machine_options);
+    sim_config.warmupInstructions = options.warmupInstructions;
+    sim_config.measureInstructions = options.measureInstructions;
+    sim_config.priorityResetInstructions =
+        options.priorityResetInstructions;
+
+    // A fresh executor with the profile's own seed: every policy run
+    // for this benchmark replays the identical committed path.
+    trace::SyntheticExecutor executor(program);
+    Simulator simulator(sim_config, executor);
+    Metrics metrics = simulator.run();
+    metrics.codeFootprintLines = executor.uniqueCodeLines();
+    return metrics;
+}
+
+double
+speedupPercent(const Metrics &base, const Metrics &test)
+{
+    return test.speedupOver(base) * 100.0;
+}
+
+double
+energyReductionPercent(const Metrics &base, const Metrics &test)
+{
+    return test.energySavingOver(base) * 100.0;
+}
+
+double
+geomeanSpeedupPercent(const std::vector<double> &percents)
+{
+    if (percents.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double p : percents)
+        log_sum += std::log(1.0 + p / 100.0);
+    return (std::exp(log_sum /
+                     static_cast<double>(percents.size())) -
+            1.0) *
+           100.0;
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || *value == '\0')
+        return fallback;
+    return std::strtoull(value, nullptr, 10);
+}
+
+std::vector<trace::WorkloadProfile>
+selectedBenchmarks()
+{
+    const char *filter = std::getenv("EMISSARY_BENCHMARKS");
+    const auto suite = trace::datacenterSuite();
+    if (!filter || *filter == '\0')
+        return suite;
+
+    std::vector<trace::WorkloadProfile> out;
+    for (const std::string &raw : split(filter, ',')) {
+        const std::string name = trim(raw);
+        if (name.empty())
+            continue;
+        out.push_back(trace::profileByName(name));
+    }
+    if (out.empty())
+        throw std::invalid_argument(
+            "EMISSARY_BENCHMARKS selected no benchmarks");
+    return out;
+}
+
+} // namespace emissary::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * High-level experiment runner shared by the bench harnesses and the
+ * examples: build a benchmark's synthetic program once, replay the
+ * identical instruction stream under different L2 policies, and
+ * compare against the TPLRU + FDIP baseline exactly as the paper
+ * does.
+ */
+
+#ifndef EMISSARY_CORE_EXPERIMENT_HH
+#define EMISSARY_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "trace/profile.hh"
+#include "trace/program.hh"
+
+namespace emissary::core
+{
+
+/** Window sizing and machine knobs for one run. */
+struct RunOptions
+{
+    std::uint64_t warmupInstructions = 400'000;
+    std::uint64_t measureInstructions = 1'600'000;
+    bool fdip = true;
+    bool nextLinePrefetch = true;
+    bool idealL2Inst = false;
+    /** EMISSARY on dual-tree TPLRU (default) or true LRU (Fig. 1). */
+    bool emissaryTreePlru = true;
+    /** §3 ablation: L1I replacement policy (paper notation). */
+    std::string l1iPolicy = "TPLRU";
+    /** §2 ablation: unselected instruction lines bypass the L2. */
+    bool bypassLowPriorityInst = false;
+    std::uint64_t priorityResetInstructions = 0;
+    std::uint64_t seed = 0x5EEDULL;
+};
+
+/**
+ * Run one benchmark under one L2 policy.
+ *
+ * @param program The benchmark's generated program (reuse across
+ *        policies so every run replays the identical stream).
+ * @param l2_policy Policy in paper notation, e.g. "P(8):S&E&R(1/32)".
+ * @param options Window and machine knobs.
+ */
+Metrics runPolicy(const trace::SyntheticProgram &program,
+                  const std::string &l2_policy,
+                  const RunOptions &options);
+
+/** Speedup of @p test over @p base in percent (paper convention). */
+double speedupPercent(const Metrics &base, const Metrics &test);
+
+/** Energy reduction of @p test vs @p base in percent. */
+double energyReductionPercent(const Metrics &base, const Metrics &test);
+
+/** Geomean of percent speedups: gmean(1 + s_i/100) - 1, in percent. */
+double geomeanSpeedupPercent(const std::vector<double> &percents);
+
+/**
+ * Read an unsigned environment override, e.g.
+ * EMISSARY_BENCH_INSTRUCTIONS, falling back to @p fallback.
+ */
+std::uint64_t envU64(const char *name, std::uint64_t fallback);
+
+/** The benchmark subset to sweep, honouring EMISSARY_BENCHMARKS
+ *  (comma-separated names; empty = full suite). */
+std::vector<trace::WorkloadProfile> selectedBenchmarks();
+
+} // namespace emissary::core
+
+#endif // EMISSARY_CORE_EXPERIMENT_HH

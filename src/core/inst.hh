@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The in-flight dynamic instruction exchanged between front-end and
+ * back-end.
+ */
+
+#ifndef EMISSARY_CORE_INST_HH
+#define EMISSARY_CORE_INST_HH
+
+#include <cstdint>
+
+#include "trace/record.hh"
+
+namespace emissary::core
+{
+
+/** One instruction flowing through the modelled pipeline. */
+struct DynInst
+{
+    trace::TraceRecord rec;
+    std::uint64_t seq = 0;  ///< Global dynamic sequence number.
+
+    /** Direction/target prediction was wrong; the front-end halted at
+     *  this instruction and resumes when it executes. */
+    bool mispredicted = false;
+};
+
+} // namespace emissary::core
+
+#endif // EMISSARY_CORE_INST_HH

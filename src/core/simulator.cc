@@ -1,0 +1,151 @@
+#include "core/simulator.hh"
+
+#include <stdexcept>
+
+namespace emissary::core
+{
+
+Simulator::Simulator(const Config &config, trace::TraceSource &source)
+    : config_(config),
+      source_(source),
+      hierarchy_(config.machine.hierarchy),
+      frontend_(config.machine.frontend, source, hierarchy_),
+      backend_(config.machine.backend, hierarchy_)
+{
+    backend_.setResolveCallback(
+        [this](std::uint64_t seq, std::uint64_t cycle) {
+            frontend_.onBranchResolved(seq, cycle);
+        });
+}
+
+std::uint64_t
+Simulator::committed() const
+{
+    return backend_.stats().committed;
+}
+
+void
+Simulator::stepCycle()
+{
+    hierarchy_.tick(now_);
+    backend_.executeStage(now_);
+    backend_.commitStage(now_);
+    backend_.issueStage(now_, decodeQueue_,
+                        frontend_.pendingFetchLine(now_));
+    frontend_.fetch(now_, decodeQueue_);
+    frontend_.prefetch(now_);
+    frontend_.predict(now_);
+    ++now_;
+}
+
+void
+Simulator::resetWindowStats()
+{
+    hierarchy_.stats().reset();
+    backend_.stats().reset();
+    frontend_.stats().reset();
+}
+
+Metrics
+Simulator::collect(std::uint64_t window_cycles) const
+{
+    const auto &hs = hierarchy_.stats();
+    const auto &bs = backend_.stats();
+    const auto &fs = frontend_.stats();
+
+    Metrics m;
+    m.benchmark = source_.name();
+    m.policy = hierarchy_.l2().policy().name();
+    m.instructions = bs.committed;
+    m.cycles = window_cycles;
+    const double ki =
+        static_cast<double>(m.instructions) / 1000.0;
+    const double safe_ki = ki > 0.0 ? ki : 1.0;
+
+    m.ipc = window_cycles > 0
+                ? static_cast<double>(m.instructions) /
+                      static_cast<double>(window_cycles)
+                : 0.0;
+
+    m.l1iMpki = static_cast<double>(hs.l1iMisses) / safe_ki;
+    m.l1dMpki = static_cast<double>(hs.l1dMisses) / safe_ki;
+    m.l2InstMpki = static_cast<double>(hs.l2InstMisses) / safe_ki;
+    m.l2DataMpki = static_cast<double>(hs.l2DataMisses) / safe_ki;
+    m.l3Mpki = static_cast<double>(hs.l3Misses) / safe_ki;
+
+    m.starvationCycles = bs.starvationCycles;
+    m.starvationIqEmptyCycles = bs.starvationIqEmptyCycles;
+    m.feStallCycles = bs.feStallCycles;
+    m.beStallCycles = bs.beStallCycles;
+    m.totalStallCycles = bs.feStallCycles + bs.beStallCycles;
+
+    m.decodeRate =
+        bs.decodeActiveCycles > 0
+            ? static_cast<double>(bs.issued) /
+                  static_cast<double>(bs.decodeActiveCycles)
+            : 0.0;
+    m.issueRate = m.ipc;
+
+    m.condMispredictsPerKi =
+        static_cast<double>(fs.condMispredicts) / safe_ki;
+    m.btbMissesPerKi =
+        static_cast<double>(fs.btbMisses) / safe_ki;
+
+    const bool emissary_bits =
+        hierarchy_.l2().spec().family ==
+        replacement::PolicyFamily::EmissaryP;
+    m.energy = energy::computeEnergy(hs, window_cycles,
+                                     m.instructions, emissary_bits);
+
+    const auto hist = hierarchy_.l2().priorityDistribution();
+    m.priorityDistribution.resize(hist.domain());
+    for (std::size_t i = 0; i < hist.domain(); ++i)
+        m.priorityDistribution[i] = hist.fraction(i);
+    m.highPriorityFills = hs.highPriorityFills;
+    m.priorityUpgrades = hs.priorityUpgrades;
+
+    return m;
+}
+
+Metrics
+Simulator::run()
+{
+    const std::uint64_t warmup = config_.warmupInstructions;
+    const std::uint64_t measure = config_.measureInstructions;
+    if (measure == 0)
+        throw std::invalid_argument("Simulator: empty window");
+
+    const std::uint64_t budget =
+        config_.maxCycles > 0 ? config_.maxCycles
+                              : 400 * (warmup + measure) + 1'000'000;
+
+    // Warm-up phase: run with stats flowing, then zero the counters.
+    while (committed() < warmup) {
+        stepCycle();
+        if (now_ > budget)
+            throw std::runtime_error("Simulator: warm-up exceeded "
+                                     "cycle budget");
+    }
+    resetWindowStats();
+    lastPriorityReset_ = 0;
+    if (onMeasureStart_)
+        onMeasureStart_();
+    const std::uint64_t measure_start = now_;
+
+    while (committed() < measure) {
+        stepCycle();
+        if (config_.priorityResetInstructions > 0 &&
+            committed() - lastPriorityReset_ >=
+                config_.priorityResetInstructions) {
+            hierarchy_.resetPriorities();
+            lastPriorityReset_ = committed();
+        }
+        if (now_ > budget)
+            throw std::runtime_error("Simulator: measurement exceeded "
+                                     "cycle budget");
+    }
+
+    return collect(now_ - measure_start);
+}
+
+} // namespace emissary::core

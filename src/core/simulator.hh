@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The cycle-level simulator: hierarchy + decoupled front-end +
+ * out-of-order back-end driven by a committed-path trace source.
+ *
+ * Public API entry point: construct with a MachineConfig and a
+ * TraceSource, call run(), read the Metrics.
+ */
+
+#ifndef EMISSARY_CORE_SIMULATOR_HH
+#define EMISSARY_CORE_SIMULATOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "backend/backend.hh"
+#include "cache/hierarchy.hh"
+#include "core/config.hh"
+#include "core/metrics.hh"
+#include "frontend/frontend.hh"
+#include "trace/record.hh"
+
+namespace emissary::core
+{
+
+/** A complete simulated machine bound to one workload. */
+class Simulator
+{
+  public:
+    struct Config
+    {
+        MachineConfig machine;
+        /** Committed instructions before the measurement window. */
+        std::uint64_t warmupInstructions = 500'000;
+        /** Committed instructions measured. */
+        std::uint64_t measureInstructions = 2'000'000;
+        /** §6 reset: clear priority bits every this many committed
+         *  instructions (0 = never). */
+        std::uint64_t priorityResetInstructions = 0;
+        /** Hard cycle cap (safety net against pathological configs;
+         *  0 = derive from instruction budget). */
+        std::uint64_t maxCycles = 0;
+    };
+
+    Simulator(const Config &config, trace::TraceSource &source);
+
+    /** Warm up, measure, and return the window's metrics. */
+    Metrics run();
+
+    /** Callback fired when the measurement window begins (after the
+     *  warm-up stats reset) — lets observers scope to the window. */
+    void
+    setOnMeasureStart(std::function<void()> callback)
+    {
+        onMeasureStart_ = std::move(callback);
+    }
+
+    /** Advance one cycle (exposed for fine-grained tests). */
+    void stepCycle();
+
+    cache::Hierarchy &hierarchy() { return hierarchy_; }
+    frontend::FrontEnd &frontEnd() { return frontend_; }
+    backend::Backend &backend() { return backend_; }
+    std::uint64_t now() const { return now_; }
+    std::uint64_t committed() const;
+
+  private:
+    void resetWindowStats();
+    Metrics collect(std::uint64_t window_cycles) const;
+
+    Config config_;
+    trace::TraceSource &source_;
+    cache::Hierarchy hierarchy_;
+    frontend::FrontEnd frontend_;
+    backend::Backend backend_;
+    std::deque<DynInst> decodeQueue_;
+    std::uint64_t now_ = 0;
+    std::uint64_t lastPriorityReset_ = 0;
+    std::function<void()> onMeasureStart_;
+};
+
+} // namespace emissary::core
+
+#endif // EMISSARY_CORE_SIMULATOR_HH

@@ -1,0 +1,45 @@
+#include "energy/model.hh"
+
+namespace emissary::energy
+{
+
+EnergyBreakdown
+computeEnergy(const cache::HierarchyStats &stats, std::uint64_t cycles,
+              std::uint64_t instructions, bool emissary_bits,
+              const EnergyParams &params)
+{
+    EnergyBreakdown out;
+    const double nj = 1e-9;
+
+    out.coreDynamicJ =
+        static_cast<double>(instructions) * params.coreEpiNj * nj;
+
+    double cache_nj = 0.0;
+    cache_nj += static_cast<double>(stats.l1iAccesses) *
+                params.l1iAccessNj;
+    cache_nj += static_cast<double>(stats.l1dAccesses) *
+                params.l1dAccessNj;
+    cache_nj += static_cast<double>(stats.l2InstAccesses +
+                                    stats.l2DataAccesses) *
+                params.l2AccessNj;
+    cache_nj += static_cast<double>(stats.l3Accesses) *
+                params.l3AccessNj;
+    if (emissary_bits) {
+        cache_nj += static_cast<double>(stats.l1iAccesses +
+                                        stats.l2InstAccesses +
+                                        stats.l2DataAccesses) *
+                    params.emissaryBitNj;
+    }
+    out.cacheDynamicJ = cache_nj * nj;
+
+    out.dramJ = static_cast<double>(stats.dramReads +
+                                    stats.dramWrites) *
+                params.dramAccessNj * nj;
+
+    const double seconds = static_cast<double>(cycles) /
+                           (params.frequencyGhz * 1e9);
+    out.leakageJ = params.leakageWatts * seconds;
+    return out;
+}
+
+} // namespace emissary::energy

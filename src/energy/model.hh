@@ -1,0 +1,73 @@
+/**
+ * @file
+ * McPAT-style analytic energy model (paper §5.9).
+ *
+ * Energy = core dynamic energy-per-instruction x instructions
+ *        + per-access dynamic energy for every cache level and DRAM
+ *        + whole-core leakage power x wall-clock time.
+ *
+ * The paper reports energy savings "strongly correlated with the
+ * speedups achieved because of the relatively small amount of
+ * hardware added"; this model has the same structure: faster runs
+ * save leakage, and fewer L3/DRAM trips save dynamic energy. The two
+ * EMISSARY metadata bits per line are charged as a small per-access
+ * adder on L1I and L2.
+ */
+
+#ifndef EMISSARY_ENERGY_MODEL_HH
+#define EMISSARY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "cache/hierarchy.hh"
+
+namespace emissary::energy
+{
+
+/** Energy/power parameters (defaults sized for a 3 GHz big core). */
+struct EnergyParams
+{
+    double l1iAccessNj = 0.010;  ///< 32 kB, 8-way read.
+    double l1dAccessNj = 0.016;  ///< 64 kB, 8-way read.
+    double l2AccessNj = 0.060;   ///< 1 MB, 16-way read.
+    double l3AccessNj = 0.140;   ///< 2 MB, 16-way read.
+    double dramAccessNj = 15.0;  ///< Per 64 B line transfer.
+    double coreEpiNj = 0.35;     ///< Core dynamic nJ per instruction.
+    double leakageWatts = 1.5;   ///< Whole core + caches static.
+    double frequencyGhz = 3.0;
+    /** Per-access overhead of the two EMISSARY bits per line (priority
+     *  + TPLRU), charged on L1I and L2 accesses. */
+    double emissaryBitNj = 0.0002;
+};
+
+/** Breakdown of one run's modelled energy. */
+struct EnergyBreakdown
+{
+    double coreDynamicJ = 0.0;
+    double cacheDynamicJ = 0.0;
+    double dramJ = 0.0;
+    double leakageJ = 0.0;
+
+    double total() const
+    {
+        return coreDynamicJ + cacheDynamicJ + dramJ + leakageJ;
+    }
+};
+
+/**
+ * Compute modelled energy for one measurement window.
+ *
+ * @param stats Hierarchy access counts for the window.
+ * @param cycles Window cycles.
+ * @param instructions Committed instructions in the window.
+ * @param emissary_bits Charge the EMISSARY metadata-bit overhead.
+ * @param params Technology parameters.
+ */
+EnergyBreakdown
+computeEnergy(const cache::HierarchyStats &stats, std::uint64_t cycles,
+              std::uint64_t instructions, bool emissary_bits,
+              const EnergyParams &params = EnergyParams());
+
+} // namespace emissary::energy
+
+#endif // EMISSARY_ENERGY_MODEL_HH

@@ -1,0 +1,69 @@
+#include "frontend/btb.hh"
+
+#include <stdexcept>
+
+#include "util/bitutil.hh"
+
+namespace emissary::frontend
+{
+
+BasicBlockBtb::BasicBlockBtb(unsigned entries, unsigned ways)
+    : ways_(ways)
+{
+    if (ways == 0 || entries % ways != 0)
+        throw std::invalid_argument("BTB: entries/ways mismatch");
+    sets_ = entries / ways;
+    if (!isPowerOfTwo(sets_))
+        throw std::invalid_argument("BTB: set count must be a power "
+                                    "of 2");
+    table_.assign(std::size_t{sets_} * ways_, Way{});
+}
+
+unsigned
+BasicBlockBtb::setIndex(std::uint64_t start_pc) const
+{
+    // Instructions are 4-byte aligned; drop the low bits.
+    return static_cast<unsigned>((start_pc >> 2) & (sets_ - 1));
+}
+
+const BtbEntry *
+BasicBlockBtb::lookup(std::uint64_t start_pc)
+{
+    const unsigned set = setIndex(start_pc);
+    for (unsigned w = 0; w < ways_; ++w) {
+        Way &way = table_[std::size_t{set} * ways_ + w];
+        if (way.valid && way.entry.startPc == start_pc) {
+            way.lastUse = ++useClock_;
+            ++hits_;
+            return &way.entry;
+        }
+    }
+    ++misses_;
+    return nullptr;
+}
+
+void
+BasicBlockBtb::install(const BtbEntry &entry)
+{
+    const unsigned set = setIndex(entry.startPc);
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Way &way = table_[std::size_t{set} * ways_ + w];
+        if (way.valid && way.entry.startPc == entry.startPc) {
+            way.entry = entry;
+            way.lastUse = ++useClock_;
+            return;
+        }
+        // Prefer an invalid way, then the least recently used one.
+        if (!victim || (victim->valid && !way.valid) ||
+            (victim->valid && way.valid &&
+             way.lastUse < victim->lastUse)) {
+            victim = &way;
+        }
+    }
+    victim->valid = true;
+    victim->entry = entry;
+    victim->lastUse = ++useClock_;
+}
+
+} // namespace emissary::frontend

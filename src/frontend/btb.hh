@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Basic-block-oriented branch target buffer (paper §5.2).
+ *
+ * Each entry describes one dynamic basic block: its starting address,
+ * its size in (fixed-width) instructions, the class of the
+ * control-flow instruction that ends it, and that instruction's taken
+ * target. The BTB is indexed by block starting address, so the
+ * predictor can chase block-to-block without decoding, exactly as
+ * the paper's extended gem5 front-end does for Aarch64.
+ */
+
+#ifndef EMISSARY_FRONTEND_BTB_HH
+#define EMISSARY_FRONTEND_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace emissary::frontend
+{
+
+/** One basic-block descriptor. */
+struct BtbEntry
+{
+    std::uint64_t startPc = 0;
+    std::uint16_t instrCount = 0;  ///< Instructions incl. terminator.
+    trace::InstClass endClass = trace::InstClass::CondBranch;
+    std::uint64_t takenTarget = 0;
+};
+
+/** Set-associative BTB with per-set LRU. */
+class BasicBlockBtb
+{
+  public:
+    /**
+     * @param entries Total entry count (e.g. 16384, Table 4).
+     * @param ways Associativity.
+     */
+    BasicBlockBtb(unsigned entries, unsigned ways);
+
+    /** Look up the block starting at @p start_pc; nullptr on miss. */
+    const BtbEntry *lookup(std::uint64_t start_pc);
+
+    /** Install or refresh the block descriptor (pre-decoder path). */
+    void install(const BtbEntry &entry);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Way
+    {
+        BtbEntry entry;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned setIndex(std::uint64_t start_pc) const;
+
+    unsigned sets_;
+    unsigned ways_;
+    std::vector<Way> table_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace emissary::frontend
+
+#endif // EMISSARY_FRONTEND_BTB_HH

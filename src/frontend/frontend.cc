@@ -1,0 +1,300 @@
+#include "frontend/frontend.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace emissary::frontend
+{
+
+namespace
+{
+constexpr unsigned kLineShift = 6;  // 64 B lines.
+} // namespace
+
+FrontEnd::FrontEnd(const Config &config, trace::TraceSource &source,
+                   cache::Hierarchy &hierarchy)
+    : config_(config),
+      source_(source),
+      hierarchy_(hierarchy),
+      btb_(config.btbEntries, config.btbWays),
+      tage_(config.tage),
+      ittage_(config.ittage),
+      ras_(config.rasDepth)
+{
+}
+
+FtqEntry
+FrontEnd::buildBlock()
+{
+    FtqEntry entry;
+    std::uint64_t last_line = ~std::uint64_t{0};
+    while (true) {
+        core::DynInst inst;
+        inst.rec = source_.next();
+        inst.seq = ++seq_;
+
+        const std::uint64_t line = inst.rec.pc >> kLineShift;
+        if (line != last_line) {
+            entry.lines.push_back(FtqEntry::LineState{line, 0, false});
+            last_line = line;
+        }
+        const bool is_control = trace::isControl(inst.rec.cls);
+        entry.instrs.push_back(inst);
+        if (is_control ||
+            entry.instrs.size() >= config_.maxBlockInstrs)
+            break;
+    }
+    return entry;
+}
+
+void
+FrontEnd::predictTerminator(FtqEntry &entry, std::uint64_t now)
+{
+    core::DynInst &term = entry.instrs.back();
+    const trace::TraceRecord &rec = term.rec;
+    if (!trace::isControl(rec.cls))
+        return;  // Oversized straight-line block; nothing to predict.
+
+    const std::uint64_t start_pc = entry.instrs.front().rec.pc;
+    const BtbEntry *btb_entry = btb_.lookup(start_pc);
+    const bool btb_hit = btb_entry != nullptr;
+    if (!btb_hit)
+        ++stats_.btbMisses;
+
+    bool mispredict = false;
+    // Pre-decode wait: block boundary/target unknown until the
+    // block's bytes arrive and the pre-decoder fills the BTB.
+    bool predecode_wait = !btb_hit;
+
+    switch (rec.cls) {
+      case trace::InstClass::CondBranch: {
+        ++stats_.condBranches;
+        const bool pred_taken = tage_.predict(rec.pc);
+        tage_.update(rec.pc, rec.taken);
+        if (btb_hit) {
+            if (pred_taken != rec.taken) {
+                mispredict = true;
+            } else if (rec.taken && btb_entry->takenTarget != 0 &&
+                       btb_entry->takenTarget != rec.nextPc) {
+                // Stale target (aliased entry): re-steer like a
+                // mispredict.
+                mispredict = true;
+            } else if (rec.taken && btb_entry->takenTarget == 0) {
+                // Direction known but target never observed; the
+                // pre-decoder supplies it from the block's bytes.
+                predecode_wait = true;
+            }
+        }
+        if (mispredict)
+            ++stats_.condMispredicts;
+        break;
+      }
+      case trace::InstClass::DirectJump:
+      case trace::InstClass::Call: {
+        if (rec.cls == trace::InstClass::Call)
+            ras_.push(rec.pc + trace::kInstBytes);
+        tage_.updateUnconditional(rec.pc);
+        break;
+      }
+      case trace::InstClass::IndirectJump:
+      case trace::InstClass::IndirectCall: {
+        ++stats_.indirectBranches;
+        const std::uint64_t base =
+            btb_hit ? btb_entry->takenTarget : 0;
+        const std::uint64_t pred = ittage_.predict(rec.pc, base);
+        ittage_.update(rec.pc, rec.nextPc);
+        if (pred != rec.nextPc) {
+            mispredict = true;
+            ++stats_.indirectMispredicts;
+        }
+        if (rec.cls == trace::InstClass::IndirectCall)
+            ras_.push(rec.pc + trace::kInstBytes);
+        tage_.updateUnconditional(rec.pc);
+        break;
+      }
+      case trace::InstClass::Return: {
+        ++stats_.returns;
+        const std::uint64_t pred = ras_.pop();
+        if (pred != rec.nextPc) {
+            mispredict = true;
+            ++stats_.returnMispredicts;
+        }
+        tage_.updateUnconditional(rec.pc);
+        break;
+      }
+      default:
+        break;
+    }
+
+    // Teach the BTB the block descriptor (pre-decoder path). For
+    // conditional branches the taken target is only learnable once
+    // observed taken.
+    BtbEntry teach;
+    teach.startPc = start_pc;
+    teach.instrCount =
+        static_cast<std::uint16_t>(entry.instrs.size());
+    teach.endClass = rec.cls;
+    if (rec.cls == trace::InstClass::CondBranch && !rec.taken) {
+        teach.takenTarget = btb_hit ? btb_entry->takenTarget : 0;
+    } else {
+        teach.takenTarget = rec.nextPc;
+    }
+    btb_.install(teach);
+
+    if (mispredict) {
+        term.mispredicted = true;
+        haltedOnSeq_ = term.seq;
+    }
+
+    if (predecode_wait) {
+        // Enqueuing stalls on BTB misses (§5.2): the next block's
+        // prediction cannot start until this block's bytes reach the
+        // pre-decoder, i.e. until its lines arrive. This serializes
+        // cold-path fetch at roughly one miss latency per block and
+        // is exactly where an L2 hit on a protected line (14 cycles)
+        // beats an L3/DRAM trip (46/246 cycles). Meanwhile the two
+        // fall-through lines are prefetched (paper §5.2), which lets
+        // straight-line cold code pipeline its stalls.
+        if (rec.taken)
+            ++stats_.btbMissResteers;
+        const cache::RequestKind kind =
+            config_.fdip ? cache::RequestKind::Fdip
+                         : cache::RequestKind::Demand;
+        requestLines(entry, now, kind);
+        std::uint64_t bytes_ready = now;
+        for (const auto &line : entry.lines)
+            bytes_ready = std::max(bytes_ready, line.readyCycle);
+        bpuStallUntil_ = std::max(
+            bpuStallUntil_, bytes_ready + config_.predecodeDelay);
+        bpuWaitLine_ = entry.lines.back().lineAddr;
+
+        const std::uint64_t last_line = entry.lines.back().lineAddr;
+        hierarchy_.requestInstruction(last_line + 1, now, kind);
+        hierarchy_.requestInstruction(last_line + 2, now, kind);
+    }
+}
+
+void
+FrontEnd::predict(std::uint64_t now)
+{
+    if (haltedOnSeq_ || now < bpuStallUntil_)
+        return;
+    if (ftq_.size() >= config_.ftqEntries ||
+        ftqInstrCount_ >= config_.ftqInstrs)
+        return;
+
+    FtqEntry entry = buildBlock();
+    predictTerminator(entry, now);
+    ftqInstrCount_ += static_cast<unsigned>(entry.instrs.size());
+    ++stats_.blocksFormed;
+    ftq_.push_back(std::move(entry));
+}
+
+void
+FrontEnd::requestLines(FtqEntry &entry, std::uint64_t now,
+                       cache::RequestKind kind)
+{
+    for (auto &line : entry.lines) {
+        if (line.requested)
+            continue;
+        line.readyCycle =
+            hierarchy_.requestInstruction(line.lineAddr, now, kind);
+        line.requested = true;
+        if (kind == cache::RequestKind::Fdip)
+            ++stats_.fdipRequests;
+    }
+    entry.linesRequested = true;
+}
+
+void
+FrontEnd::prefetch(std::uint64_t now)
+{
+    if (!config_.fdip)
+        return;
+    unsigned budget = config_.fdipLinesPerCycle;
+    for (auto &entry : ftq_) {
+        if (budget == 0)
+            break;
+        if (entry.linesRequested)
+            continue;
+        const unsigned cost =
+            static_cast<unsigned>(entry.lines.size());
+        requestLines(entry, now, cache::RequestKind::Fdip);
+        budget -= std::min(budget, cost);
+    }
+}
+
+void
+FrontEnd::fetch(std::uint64_t now,
+                std::deque<core::DynInst> &decode_queue)
+{
+    unsigned budget = config_.fetchWidth;
+    while (budget > 0 && !ftq_.empty() &&
+           decode_queue.size() < config_.decodeQueueCap) {
+        FtqEntry &entry = ftq_.front();
+        if (!entry.linesRequested) {
+            // FDIP disabled (or hasn't reached this entry): issue the
+            // demand requests now.
+            requestLines(entry, now,
+                         config_.fdip ? cache::RequestKind::Fdip
+                                      : cache::RequestKind::Demand);
+        }
+
+        const core::DynInst &inst = entry.instrs[entry.consumed];
+        const std::uint64_t line = inst.rec.pc >> kLineShift;
+        const auto it = std::find_if(
+            entry.lines.begin(), entry.lines.end(),
+            [line](const FtqEntry::LineState &ls) {
+                return ls.lineAddr == line;
+            });
+        assert(it != entry.lines.end());
+        if (it->readyCycle > now)
+            break;  // Head line still in flight: fetch stalls.
+
+        decode_queue.push_back(inst);
+        ++stats_.fetchedInstrs;
+        ++entry.consumed;
+        --budget;
+        if (entry.consumed == entry.instrs.size()) {
+            ftqInstrCount_ -=
+                static_cast<unsigned>(entry.instrs.size());
+            ftq_.pop_front();
+        }
+    }
+}
+
+void
+FrontEnd::onBranchResolved(std::uint64_t seq, std::uint64_t cycle)
+{
+    if (haltedOnSeq_ && *haltedOnSeq_ == seq) {
+        haltedOnSeq_.reset();
+        bpuStallUntil_ =
+            std::max(bpuStallUntil_, cycle + config_.resteerLatency);
+    }
+}
+
+std::optional<std::uint64_t>
+FrontEnd::pendingFetchLine(std::uint64_t now) const
+{
+    if (ftq_.empty()) {
+        // The FTQ drained while the BPU waits for a cold block's
+        // bytes: the decode stage is starving on that block's line.
+        if (bpuWaitLine_ && now < bpuStallUntil_)
+            return bpuWaitLine_;
+        return std::nullopt;
+    }
+    const FtqEntry &entry = ftq_.front();
+    if (!entry.linesRequested)
+        return std::nullopt;
+    const std::uint64_t line =
+        entry.instrs[entry.consumed].rec.pc >> kLineShift;
+    for (const auto &ls : entry.lines) {
+        if (ls.lineAddr == line)
+            return ls.readyCycle > now
+                       ? std::optional<std::uint64_t>(line)
+                       : std::nullopt;
+    }
+    return std::nullopt;
+}
+
+} // namespace emissary::frontend

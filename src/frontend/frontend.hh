@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The decoupled front-end (paper §5.2).
+ *
+ * A branch-prediction unit (BPU) walks the committed-path trace one
+ * dynamic basic block per cycle, predicting each block's terminator
+ * with TAGE / ITTAGE / RAS and chasing block targets through a
+ * basic-block BTB, and enqueues fetch targets into the FTQ (24
+ * entries / 192 instructions). FDIP prefetches the instruction lines
+ * of queued blocks into L1I ahead of fetch; the fetch stage delivers
+ * instructions whose lines have arrived into the decode queue.
+ *
+ * Trace-driven control-flow handling (ChampSim-style): the front-end
+ * always follows the committed path, and a wrong prediction halts
+ * block enqueue at the offending branch until the back-end resolves
+ * it, charging the full decoupled-front-end re-steer cost without
+ * simulating wrong-path instructions.
+ */
+
+#ifndef EMISSARY_FRONTEND_FRONTEND_HH
+#define EMISSARY_FRONTEND_FRONTEND_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "core/inst.hh"
+#include "frontend/btb.hh"
+#include "frontend/ittage.hh"
+#include "frontend/ras.hh"
+#include "frontend/tage.hh"
+#include "trace/record.hh"
+
+namespace emissary::frontend
+{
+
+/** Front-end statistics for one measurement window. */
+struct FrontEndStats
+{
+    std::uint64_t blocksFormed = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t indirectBranches = 0;
+    std::uint64_t indirectMispredicts = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t returnMispredicts = 0;
+    std::uint64_t btbMisses = 0;
+    std::uint64_t btbMissResteers = 0;  ///< Taken terminator unseen.
+    std::uint64_t fetchedInstrs = 0;
+    std::uint64_t fdipRequests = 0;
+
+    void reset() { *this = FrontEndStats{}; }
+};
+
+/** One FTQ entry: a predicted dynamic basic block. */
+struct FtqEntry
+{
+    struct LineState
+    {
+        std::uint64_t lineAddr = 0;
+        std::uint64_t readyCycle = 0;
+        bool requested = false;
+    };
+
+    std::vector<core::DynInst> instrs;
+    std::vector<LineState> lines;  ///< Unique lines, in PC order.
+    unsigned consumed = 0;         ///< Instructions already fetched.
+    bool linesRequested = false;   ///< FDIP / fetch issued requests.
+};
+
+/** The decoupled front-end. */
+class FrontEnd
+{
+  public:
+    struct Config
+    {
+        unsigned ftqEntries = 24;       ///< Table 4.
+        unsigned ftqInstrs = 192;       ///< Table 4.
+        unsigned fetchWidth = 8;        ///< Table 4.
+        unsigned decodeQueueCap = 32;   ///< Buffer feeding decode.
+        bool fdip = true;
+        unsigned fdipLinesPerCycle = 2;
+        unsigned maxBlockInstrs = 64;   ///< Safety cap per FTQ entry.
+        unsigned resteerLatency = 10;   ///< After mispredict resolve.
+        unsigned predecodeDelay = 3;    ///< BTB fill after bytes arrive.
+        unsigned btbEntries = 16384;    ///< Table 4.
+        unsigned btbWays = 8;
+        Tage::Config tage;
+        Ittage::Config ittage;
+        unsigned rasDepth = 32;
+    };
+
+    FrontEnd(const Config &config, trace::TraceSource &source,
+             cache::Hierarchy &hierarchy);
+
+    /** BPU stage: form and predict at most one basic block. */
+    void predict(std::uint64_t now);
+
+    /** FDIP stage: prefetch lines for queued blocks. */
+    void prefetch(std::uint64_t now);
+
+    /**
+     * Fetch stage: deliver line-ready instructions from the FTQ head
+     * into @p decode_queue, up to fetchWidth.
+     */
+    void fetch(std::uint64_t now,
+               std::deque<core::DynInst> &decode_queue);
+
+    /** Back-end callback: the mispredicted branch @p seq resolved. */
+    void onBranchResolved(std::uint64_t seq, std::uint64_t cycle);
+
+    /**
+     * The instruction line the decode stage is waiting on: set when
+     * the FTQ head's next instruction sits in a line whose fill is
+     * still outstanding. This is the line a decode starvation is
+     * attributed to (§3).
+     */
+    std::optional<std::uint64_t>
+    pendingFetchLine(std::uint64_t now) const;
+
+    /** True when the FTQ holds no deliverable work. */
+    bool ftqEmpty() const { return ftq_.empty(); }
+
+    /** Sequence number of the mispredicted branch the BPU is halted
+     *  on, if any (testing/diagnosis). */
+    std::optional<std::uint64_t> haltedBranch() const
+    {
+        return haltedOnSeq_;
+    }
+
+    FrontEndStats &stats() { return stats_; }
+    const FrontEndStats &stats() const { return stats_; }
+
+    BasicBlockBtb &btb() { return btb_; }
+    Tage &tage() { return tage_; }
+
+  private:
+    /** Pull trace records to build the next dynamic basic block. */
+    FtqEntry buildBlock();
+
+    /** Predict/teach the terminator; set halt/penalty state. */
+    void predictTerminator(FtqEntry &entry, std::uint64_t now);
+
+    /** Issue the hierarchy requests for a block's lines. */
+    void requestLines(FtqEntry &entry, std::uint64_t now,
+                      cache::RequestKind kind);
+
+    Config config_;
+    trace::TraceSource &source_;
+    cache::Hierarchy &hierarchy_;
+
+    BasicBlockBtb btb_;
+    Tage tage_;
+    Ittage ittage_;
+    ReturnAddressStack ras_;
+
+    std::deque<FtqEntry> ftq_;
+    unsigned ftqInstrCount_ = 0;
+
+    std::uint64_t seq_ = 0;
+    std::uint64_t bpuStallUntil_ = 0;
+    /** Line the BPU is stalled on (BTB-miss pre-decode wait); used to
+     *  attribute decode starvation when the FTQ has drained. */
+    std::optional<std::uint64_t> bpuWaitLine_;
+    std::optional<std::uint64_t> haltedOnSeq_;
+
+    FrontEndStats stats_;
+};
+
+} // namespace emissary::frontend
+
+#endif // EMISSARY_FRONTEND_FRONTEND_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ITTAGE indirect-target predictor (Table 4).
+ *
+ * Tagged, history-indexed tables store full targets with a small
+ * confidence counter; the longest confident match provides the
+ * prediction, falling back to the caller-supplied base target (the
+ * BTB's last-seen target).
+ */
+
+#ifndef EMISSARY_FRONTEND_ITTAGE_HH
+#define EMISSARY_FRONTEND_ITTAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "frontend/tage.hh"
+
+namespace emissary::frontend
+{
+
+/** ITTAGE indirect target predictor. */
+class Ittage
+{
+  public:
+    struct Config
+    {
+        unsigned tableLog = 9;
+        unsigned tagBits = 9;
+        std::vector<unsigned> historyLengths = {8, 32, 128};
+        std::uint64_t seed = 0x177A6EULL;
+    };
+
+    Ittage();
+    explicit Ittage(const Config &config);
+
+    /**
+     * Predict the target of the indirect branch at @p pc.
+     * @param base_target Fallback (e.g. BTB last target; 0 if none).
+     */
+    std::uint64_t predict(std::uint64_t pc, std::uint64_t base_target);
+
+    /** Train with the resolved @p target and advance history. */
+    void update(std::uint64_t pc, std::uint64_t target);
+
+  private:
+    struct Entry
+    {
+        std::uint64_t target = 0;
+        std::uint16_t tag = 0;
+        std::uint8_t conf = 0;    ///< 2-bit confidence.
+        std::uint8_t useful = 0;  ///< 1-bit useful.
+    };
+
+    unsigned tableIndex(std::uint64_t pc, unsigned table) const;
+    std::uint16_t tableTag(std::uint64_t pc, unsigned table) const;
+    void pushHistory(std::uint64_t target);
+
+    struct Snapshot
+    {
+        std::uint64_t pc = 0;
+        int provider = -1;
+        std::uint64_t pred = 0;
+        unsigned indices[8] = {};
+        std::uint16_t tags[8] = {};
+    };
+
+    Config config_;
+    std::vector<std::vector<Entry>> tables_;
+    std::vector<FoldedHistory> indexFold_;
+    std::vector<FoldedHistory> tagFold_;
+    std::vector<std::uint8_t> history_;
+    unsigned historyPos_ = 0;
+    Snapshot last_;
+    Rng rng_;
+};
+
+} // namespace emissary::frontend
+
+#endif // EMISSARY_FRONTEND_ITTAGE_HH

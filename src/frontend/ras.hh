@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Return address stack.
+ */
+
+#ifndef EMISSARY_FRONTEND_RAS_HH
+#define EMISSARY_FRONTEND_RAS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace emissary::frontend
+{
+
+/** Fixed-depth circular return-address stack. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 32)
+        : stack_(depth, 0)
+    {}
+
+    /** Push the return address of a call. */
+    void
+    push(std::uint64_t return_pc)
+    {
+        top_ = (top_ + 1) % stack_.size();
+        stack_[top_] = return_pc;
+        if (occupancy_ < stack_.size())
+            ++occupancy_;
+    }
+
+    /** Pop and return the predicted return target (0 when empty). */
+    std::uint64_t
+    pop()
+    {
+        if (occupancy_ == 0)
+            return 0;
+        const std::uint64_t value = stack_[top_];
+        top_ = (top_ + stack_.size() - 1) % stack_.size();
+        --occupancy_;
+        return value;
+    }
+
+    std::size_t occupancy() const { return occupancy_; }
+
+  private:
+    std::vector<std::uint64_t> stack_;
+    std::size_t top_ = 0;
+    std::size_t occupancy_ = 0;
+};
+
+} // namespace emissary::frontend
+
+#endif // EMISSARY_FRONTEND_RAS_HH

@@ -1,0 +1,94 @@
+#include "replacement/mode.hh"
+
+#include <stdexcept>
+
+#include "util/rng.hh"
+#include "util/strutil.hh"
+
+namespace emissary::replacement
+{
+
+ModeSelector
+ModeSelector::parse(const std::string &text)
+{
+    ModeSelector sel;
+    const std::string trimmed = trim(text);
+    if (trimmed.empty())
+        throw std::invalid_argument("ModeSelector: empty expression");
+
+    if (trimmed == "1")
+        return sel;  // default state: always
+    if (trimmed == "0") {
+        sel.never_ = true;
+        return sel;
+    }
+
+    for (const std::string &raw : split(trimmed, '&')) {
+        const std::string term = trim(raw);
+        if (term == "S") {
+            if (sel.needS_)
+                throw std::invalid_argument(
+                    "ModeSelector: duplicate S term");
+            sel.needS_ = true;
+        } else if (term == "E") {
+            if (sel.needE_)
+                throw std::invalid_argument(
+                    "ModeSelector: duplicate E term");
+            sel.needE_ = true;
+        } else if (term.size() > 3 && term.substr(0, 2) == "R(" &&
+                   term.back() == ')') {
+            if (sel.hasR_)
+                throw std::invalid_argument(
+                    "ModeSelector: duplicate R term");
+            sel.hasR_ = true;
+            sel.rate_ = Rational::parse(
+                term.substr(2, term.size() - 3));
+        } else {
+            throw std::invalid_argument(
+                "ModeSelector: unknown term '" + term + "'");
+        }
+    }
+    return sel;
+}
+
+bool
+ModeSelector::select(const MissContext &ctx, Rng &rng) const
+{
+    if (never_)
+        return false;
+    if (needS_ && !ctx.causedStarvation)
+        return false;
+    if (needE_ && !ctx.issueQueueEmpty)
+        return false;
+    if (hasR_ && !rate_.draw(rng))
+        return false;
+    return true;
+}
+
+std::string
+ModeSelector::toString() const
+{
+    if (never_)
+        return "0";
+    std::string out;
+    if (needS_)
+        out += "S";
+    if (needE_)
+        out += out.empty() ? "E" : "&E";
+    if (hasR_) {
+        if (!out.empty())
+            out += "&";
+        out += "R(" + rate_.toString() + ")";
+    }
+    return out.empty() ? "1" : out;
+}
+
+bool
+ModeSelector::operator==(const ModeSelector &other) const
+{
+    return never_ == other.never_ && needS_ == other.needS_ &&
+           needE_ == other.needE_ && hasR_ == other.hasR_ &&
+           (!hasR_ || rate_ == other.rate_);
+}
+
+} // namespace emissary::replacement

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bimodal mode selection (paper §4.1, Table 1).
+ *
+ * A ModeSelector evaluates the Boolean conjunction of the paper's
+ * selection signals over the context of a finished miss:
+ *
+ *   1      always high-priority
+ *   0      never high-priority
+ *   S      the miss caused decode starvation
+ *   E      the issue queue was empty during the starvation
+ *   R(r)   pseudo-random selection with probability r
+ *
+ * e.g. "S&E&R(1/32)" requires starvation AND an empty issue queue AND
+ * winning a 1-in-32 draw.
+ */
+
+#ifndef EMISSARY_REPLACEMENT_MODE_HH
+#define EMISSARY_REPLACEMENT_MODE_HH
+
+#include <string>
+
+#include "util/rational.hh"
+
+namespace emissary
+{
+class Rng;
+}
+
+namespace emissary::replacement
+{
+
+/** Everything known about a miss when its fill is inserted. */
+struct MissContext
+{
+    /** Line holds instructions. */
+    bool isInstruction = false;
+
+    /** Decode starved while this miss was outstanding (signal S). */
+    bool causedStarvation = false;
+
+    /** Issue queue was empty during that starvation (signal E). */
+    bool issueQueueEmpty = false;
+};
+
+/** A parsed mode-selection expression. */
+class ModeSelector
+{
+  public:
+    /** Default: the constant 1 (always high-priority). */
+    ModeSelector() = default;
+
+    /**
+     * Parse the paper notation: "1", "0", or a '&'-joined conjunction
+     * of "S", "E" and "R(a/b)" in any order.
+     * @throws std::invalid_argument on malformed input.
+     */
+    static ModeSelector parse(const std::string &text);
+
+    /** Evaluate the expression for a finished miss. */
+    bool select(const MissContext &ctx, Rng &rng) const;
+
+    /** True when the expression references the starvation signal. */
+    bool usesStarvation() const { return needS_; }
+
+    /** True when the expression references the IQ-empty signal. */
+    bool usesIssueQueue() const { return needE_; }
+
+    /** True when a random filter R(r) is present. */
+    bool usesRandom() const { return hasR_; }
+
+    /** The R(r) probability; meaningful only when usesRandom(). */
+    const Rational &randomRate() const { return rate_; }
+
+    /** Render back to paper notation. */
+    std::string toString() const;
+
+    bool operator==(const ModeSelector &other) const;
+
+  private:
+    bool never_ = false;
+    bool needS_ = false;
+    bool needE_ = false;
+    bool hasR_ = false;
+    Rational rate_;
+};
+
+} // namespace emissary::replacement
+
+#endif // EMISSARY_REPLACEMENT_MODE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Parser and factory for the paper's policy notation (Table 3).
+ *
+ * Accepted spellings:
+ *
+ *   "M:1" (or "LRU")        classic LRU
+ *   "M:0" (or "LIP")        LRU-insertion policy
+ *   "M:R(1/32)" (or "BIP")  bimodal insertion
+ *   "M:S", "M:S&E", "M:S&E&R(1/32)"  starvation-aware insertion
+ *   "P(8):S&E&R(1/32)"      EMISSARY, N = 8
+ *   "TPLRU"                 tree pseudo-LRU (the evaluation baseline)
+ *   "SRRIP", "BRRIP", "DRRIP", "PDP", "DCLIP"  comparators
+ *
+ * A PolicySpec also decides how mode selection scopes to line type:
+ * bimodal selection applies to instruction lines only (§2); data
+ * lines default to MRU insertion under M: policies and to low
+ * priority under P(N) policies.
+ */
+
+#ifndef EMISSARY_REPLACEMENT_SPEC_HH
+#define EMISSARY_REPLACEMENT_SPEC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replacement/mode.hh"
+#include "replacement/policy.hh"
+
+namespace emissary::replacement
+{
+
+/** Policy families the factory can instantiate. */
+enum class PolicyFamily : std::uint8_t
+{
+    InsertionLru,  ///< M:<sel> — bimodal insertion on true LRU.
+    TreePlru,      ///< Plain TPLRU (evaluation baseline).
+    EmissaryP,     ///< P(N):<sel> — the paper's contribution.
+    Srrip,
+    Brrip,
+    Drrip,
+    Pdp,
+    Dclip,
+};
+
+/** A parsed policy description. */
+struct PolicySpec
+{
+    PolicyFamily family = PolicyFamily::TreePlru;
+    ModeSelector selector;      ///< For InsertionLru / EmissaryP.
+    unsigned protectN = 8;      ///< The N of P(N).
+    bool emissaryTreePlru = true; ///< Dual-tree TPLRU vs true LRU.
+    unsigned pdpDistance = 64;  ///< Static protecting distance.
+
+    /**
+     * Parse the paper notation.
+     * @throws std::invalid_argument on malformed input.
+     */
+    static PolicySpec parse(const std::string &text);
+
+    /** Render back to canonical notation. */
+    std::string toString() const;
+
+    /** True for families that consume the starvation signal. */
+    bool usesStarvation() const;
+
+    /**
+     * Mode selection with the paper's instruction-only scoping: data
+     * lines are high-priority (MRU) under M: policies and always
+     * low-priority under P(N) policies; instruction lines evaluate
+     * the selector.
+     */
+    bool computePriority(const MissContext &ctx, Rng &rng) const;
+};
+
+/** Instantiate the policy an array should run. */
+std::unique_ptr<ReplacementPolicy>
+makePolicy(const PolicySpec &spec, unsigned num_sets, unsigned num_ways,
+           std::uint64_t seed = 0xCAC4E5EEDULL);
+
+/** The Fig. 7 comparison set, in the paper's legend order. */
+std::vector<std::string> figure7PolicyNames();
+
+} // namespace emissary::replacement
+
+#endif // EMISSARY_REPLACEMENT_SPEC_HH

@@ -1,0 +1,97 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace emissary::stats
+{
+
+BoundedHistogram::BoundedHistogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds))
+{
+    if (bounds_.empty() || bounds_.front() != 0)
+        throw std::invalid_argument(
+            "BoundedHistogram: bounds must start at 0");
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        throw std::invalid_argument(
+            "BoundedHistogram: bounds must be ascending");
+    counts_.assign(bounds_.size(), 0);
+}
+
+std::size_t
+BoundedHistogram::bucketFor(std::uint64_t value) const
+{
+    const auto it =
+        std::upper_bound(bounds_.begin(), bounds_.end(), value);
+    return static_cast<std::size_t>(it - bounds_.begin()) - 1;
+}
+
+void
+BoundedHistogram::sample(std::uint64_t value, std::uint64_t weight)
+{
+    counts_[bucketFor(value)] += weight;
+    total_ += weight;
+}
+
+double
+BoundedHistogram::fraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+           static_cast<double>(total_);
+}
+
+void
+BoundedHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+DenseHistogram::DenseHistogram(std::size_t domain)
+{
+    counts_.assign(domain, 0);
+}
+
+void
+DenseHistogram::sample(std::size_t value, std::uint64_t weight)
+{
+    counts_.at(value) += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+DenseHistogram::count(std::size_t value) const
+{
+    return counts_.at(value);
+}
+
+double
+DenseHistogram::fraction(std::size_t value) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(value)) /
+           static_cast<double>(total_);
+}
+
+void
+DenseHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+void
+DenseHistogram::merge(const DenseHistogram &other)
+{
+    if (other.counts_.size() != counts_.size())
+        throw std::invalid_argument("DenseHistogram: domain mismatch");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+} // namespace emissary::stats

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bucketed histograms for distributions reported by the paper
+ * (reuse-distance classes, per-set priority occupancy, stall types).
+ */
+
+#ifndef EMISSARY_STATS_HISTOGRAM_HH
+#define EMISSARY_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emissary::stats
+{
+
+/**
+ * Histogram over explicit bucket boundaries.
+ *
+ * A sample x lands in bucket i when bound[i] <= x < bound[i+1]; an
+ * implicit final bucket catches everything >= the last bound. This is
+ * exactly the Short [0,100) / Mid [100,5000) / Long [5000,inf) scheme
+ * of Figure 2 when constructed with bounds {0, 100, 5000}.
+ */
+class BoundedHistogram
+{
+  public:
+    /** @param bounds Ascending bucket lower bounds; front must be 0. */
+    explicit BoundedHistogram(std::vector<std::uint64_t> bounds);
+
+    /** Record one sample with an optional weight. */
+    void sample(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Number of buckets (== bounds.size()). */
+    std::size_t bucketCount() const { return counts_.size(); }
+
+    /** Raw count in bucket @p i. */
+    std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+
+    /** Total weight across all buckets. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of total weight in bucket @p i (0 when empty). */
+    double fraction(std::size_t i) const;
+
+    /** Bucket index a value would land in. */
+    std::size_t bucketFor(std::uint64_t value) const;
+
+    /** Lower bound of bucket @p i. */
+    std::uint64_t lowerBound(std::size_t i) const { return bounds_.at(i); }
+
+    /** Reset all counts to zero. */
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Dense small-domain histogram, e.g. "number of high-priority lines in
+ * a set" over 0..associativity for Figure 8.
+ */
+class DenseHistogram
+{
+  public:
+    explicit DenseHistogram(std::size_t domain);
+
+    void sample(std::size_t value, std::uint64_t weight = 1);
+
+    std::size_t domain() const { return counts_.size(); }
+    std::uint64_t count(std::size_t value) const;
+    std::uint64_t total() const { return total_; }
+    double fraction(std::size_t value) const;
+    void reset();
+
+    /** Merge another histogram of the same domain into this one. */
+    void merge(const DenseHistogram &other);
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace emissary::stats
+
+#endif // EMISSARY_STATS_HISTOGRAM_HH

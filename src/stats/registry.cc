@@ -1,0 +1,44 @@
+#include "stats/registry.hh"
+
+namespace emissary::stats
+{
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+std::uint64_t
+Registry::value(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    if (it == counters_.end())
+        return 0;
+    return it->second.value();
+}
+
+bool
+Registry::has(const std::string &name) const
+{
+    return counters_.find(name) != counters_.end();
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, counter] : counters_)
+        out.push_back(name);
+    return out;
+}
+
+void
+Registry::resetAll()
+{
+    for (auto &[name, counter] : counters_)
+        counter.reset();
+}
+
+} // namespace emissary::stats

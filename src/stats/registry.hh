@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Named scalar statistics, gem5-style: components register counters by
+ * dotted name and reports enumerate them generically.
+ */
+
+#ifndef EMISSARY_STATS_REGISTRY_HH
+#define EMISSARY_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace emissary::stats
+{
+
+/** A single monotonically-increasing counter. */
+class Counter
+{
+  public:
+    void increment(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Registry mapping dotted stat names ("l2.inst_misses") to counters.
+ *
+ * Components hold references to counters they create; the registry
+ * owns storage so reports can walk everything at end of simulation.
+ */
+class Registry
+{
+  public:
+    /** Create (or fetch) the counter registered under @p name. */
+    Counter &counter(const std::string &name);
+
+    /** Look up a counter's value; returns 0 when absent. */
+    std::uint64_t value(const std::string &name) const;
+
+    /** True when a counter with @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** All registered names in sorted order. */
+    std::vector<std::string> names() const;
+
+    /** Reset every counter to zero (start of measurement window). */
+    void resetAll();
+
+  private:
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace emissary::stats
+
+#endif // EMISSARY_STATS_REGISTRY_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text table rendering for benchmark harness output.
+ *
+ * Every bench binary prints the rows/series of the paper table or
+ * figure it regenerates; this helper keeps the columns aligned and can
+ * also emit CSV for plotting.
+ */
+
+#ifndef EMISSARY_STATS_TABLE_HH
+#define EMISSARY_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace emissary::stats
+{
+
+/** A simple column-aligned text table. */
+class Table
+{
+  public:
+    /** @param headers Column titles, fixed for the table's lifetime. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns, header rule, one row per line. */
+    std::string render() const;
+
+    /** Render as CSV (no alignment padding). */
+    std::string renderCsv() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace emissary::stats
+
+#endif // EMISSARY_STATS_TABLE_HH

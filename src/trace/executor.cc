@@ -1,0 +1,271 @@
+#include "trace/executor.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bitutil.hh"
+
+namespace emissary::trace
+{
+
+namespace
+{
+
+std::uint64_t
+hashPc(std::uint64_t pc)
+{
+    std::uint64_t z = pc * 0xff51afd7ed558ccdULL;
+    z ^= z >> 33;
+    z *= 0xc4ceb9fe1a85ec53ULL;
+    return z ^ (z >> 33);
+}
+
+} // namespace
+
+SyntheticExecutor::SyntheticExecutor(const SyntheticProgram &program,
+                                     std::uint64_t seed)
+    : program_(program),
+      rng_(seed ? seed : program.profile().seed ^ 0xE3EC5715ULL),
+      hotDataSampler_(
+          std::max<std::size_t>(program.profile().hotDataBytes / 64, 16),
+          program.profile().hotDataSkew),
+      coldDataLines_(
+          std::max<std::uint64_t>(
+              program.profile().dataFootprintBytes / 64, 16)),
+      streamBytes_(std::min<std::uint64_t>(
+          program.profile().dataFootprintBytes, 16ull << 20))
+{
+    const Function &root =
+        program_.functions()[program_.dispatcherFunc()];
+    stack_.push_back(Frame{program_.dispatcherFunc(), 0, 0});
+    (void)root;
+
+    const std::uint64_t code_lines =
+        (program_.staticCodeBytes() + 63) / 64 + 1;
+    touchedBitmap_.assign((code_lines + 63) / 64, 0);
+    const std::uint64_t data_lines =
+        program_.profile().dataFootprintBytes / 64 +
+        program_.profile().hotDataBytes / 64 + streamBytes_ / 64 +
+        2048;  // slack for stack lines
+    dataBitmap_.assign((data_lines + 63) / 64, 0);
+}
+
+const BasicBlock &
+SyntheticExecutor::currentBlock() const
+{
+    const Frame &frame = stack_.back();
+    const Function &fn = program_.functions()[frame.func];
+    return program_.blocks()[fn.firstBlock + frame.block];
+}
+
+std::uint64_t
+SyntheticExecutor::currentPc() const
+{
+    const Frame &frame = stack_.back();
+    return currentBlock().startPc +
+           std::uint64_t{frame.instr} * kInstBytes;
+}
+
+const char *
+SyntheticExecutor::name() const
+{
+    return program_.profile().name.c_str();
+}
+
+std::uint64_t
+SyntheticExecutor::uniqueDataLines() const
+{
+    return touchedDataLines_;
+}
+
+void
+SyntheticExecutor::touchCode(std::uint64_t pc)
+{
+    const std::uint64_t line =
+        (pc - SyntheticProgram::kCodeBase) / 64;
+    const std::uint64_t word = line / 64;
+    const std::uint64_t bit = std::uint64_t{1} << (line % 64);
+    if (!(touchedBitmap_[word] & bit)) {
+        touchedBitmap_[word] |= bit;
+        ++touchedLines_;
+    }
+}
+
+std::uint64_t
+SyntheticExecutor::dataAddress(std::uint64_t pc)
+{
+    const WorkloadProfile &prof = program_.profile();
+    const double u = rng_.nextDouble();
+
+    std::uint64_t addr;
+    if (u < prof.stackAccessFraction) {
+        const std::uint64_t depth = stack_.size();
+        const std::uint64_t base = kStackTop - depth * kFrameBytes;
+        addr = base + (hashPc(pc) % kFrameBytes & ~std::uint64_t{7});
+    } else if (u < prof.stackAccessFraction + prof.streamingFraction) {
+        addr = kStreamBase + streamPtr_;
+        streamPtr_ = (streamPtr_ + 8) % streamBytes_;
+    } else if (rng_.chance(prof.coldAccessFraction)) {
+        const std::uint64_t line = rng_.nextBelow(coldDataLines_);
+        addr = kColdBase + line * 64 + (rng_.next() & 56);
+    } else {
+        const std::uint64_t line = hotDataSampler_.sample(rng_);
+        addr = kHeapBase + line * 64 + (rng_.next() & 56);
+    }
+
+    // Footprint accounting: map each region into a disjoint slice of
+    // the bitmap (stack lines are few; heap and stream dominate).
+    std::uint64_t line_index;
+    if (addr >= kStackTop - 1024 * kFrameBytes) {
+        line_index = (kStackTop - addr) / 64 % 1024;
+    } else if (addr >= kStreamBase) {
+        line_index = 1024 + (addr - kStreamBase) / 64;
+    } else if (addr >= kColdBase) {
+        line_index = 1024 + streamBytes_ / 64 +
+                     program_.profile().hotDataBytes / 64 +
+                     (addr - kColdBase) / 64;
+    } else {
+        line_index = 1024 + streamBytes_ / 64 + (addr - kHeapBase) / 64;
+    }
+    if (line_index / 64 < dataBitmap_.size()) {
+        const std::uint64_t bit = std::uint64_t{1} << (line_index % 64);
+        if (!(dataBitmap_[line_index / 64] & bit)) {
+            dataBitmap_[line_index / 64] |= bit;
+            ++touchedDataLines_;
+        }
+    }
+    return addr;
+}
+
+TraceRecord
+SyntheticExecutor::next()
+{
+    Frame &frame = stack_.back();
+    const BasicBlock &block = currentBlock();
+    const std::uint64_t pc = currentPc();
+
+    TraceRecord rec;
+    rec.pc = pc;
+    touchCode(pc);
+    ++instructions_;
+
+    if (frame.instr < block.bodyInstrs) {
+        // Plain body instruction.
+        rec.cls = program_.bodyClassAt(pc);
+        if (isMemory(rec.cls))
+            rec.memAddr = dataAddress(pc);
+        rec.nextPc = pc + kInstBytes;
+        ++frame.instr;
+        return rec;
+    }
+
+    // Terminator instruction.
+    const Function &fn = program_.functions()[frame.func];
+    const auto block_start = [&](std::uint32_t local) {
+        return program_.blocks()[fn.firstBlock + local].startPc;
+    };
+
+    switch (block.term) {
+      case TermKind::CondLoop: {
+        rec.cls = InstClass::CondBranch;
+        // Deterministic trip count (see program.cc): taken until the
+        // loop has run tripCount iterations, then exit and rearm.
+        if (frame.lastLatch != frame.block) {
+            frame.lastLatch = frame.block;
+            frame.loopIter = 0;
+        }
+        ++frame.loopIter;
+        rec.taken = frame.loopIter < block.tripCount;
+        if (!rec.taken)
+            frame.lastLatch = ~0u;
+        if (rec.taken) {
+            rec.nextPc = block_start(block.targetBlock);
+            frame.block = block.targetBlock;
+        } else {
+            rec.nextPc = pc + kInstBytes;
+            ++frame.block;
+        }
+        frame.instr = 0;
+        break;
+      }
+      case TermKind::CondForward: {
+        rec.cls = InstClass::CondBranch;
+        rec.taken = rng_.chance(block.takenBias);
+        if (rec.taken) {
+            rec.nextPc = block_start(block.targetBlock);
+            frame.block = block.targetBlock;
+        } else {
+            rec.nextPc = pc + kInstBytes;
+            ++frame.block;
+        }
+        frame.instr = 0;
+        break;
+      }
+      case TermKind::Jump: {
+        rec.cls = InstClass::DirectJump;
+        rec.taken = true;
+        rec.nextPc = block_start(block.targetBlock);
+        frame.block = block.targetBlock;
+        frame.instr = 0;
+        break;
+      }
+      case TermKind::CallLocal: {
+        rec.cls = InstClass::Call;
+        rec.taken = true;
+        const std::uint32_t callee = block.calleeFunc;
+        rec.nextPc = program_.functions()[callee].entryPc;
+        // Continue after the call at the next layout block.
+        ++frame.block;
+        frame.instr = 0;
+        stack_.push_back(Frame{callee, 0, 0});
+        break;
+      }
+      case TermKind::DispatchCall: {
+        rec.cls = InstClass::IndirectCall;
+        rec.taken = true;
+        // Bursty request traffic: repeat a recent type or draw fresh.
+        std::uint32_t type;
+        const WorkloadProfile &prof = program_.profile();
+        if (!recentTypes_.empty() &&
+            rng_.chance(prof.burstRepeatProbability)) {
+            type = recentTypes_[rng_.nextBelow(recentTypes_.size())];
+        } else {
+            type = static_cast<std::uint32_t>(
+                program_.transactionSampler().sample(rng_));
+            if (std::find(recentTypes_.begin(), recentTypes_.end(),
+                          type) == recentTypes_.end()) {
+                recentTypes_.push_back(type);
+                if (recentTypes_.size() > prof.burstWindow)
+                    recentTypes_.erase(recentTypes_.begin());
+            }
+        }
+        const std::uint32_t callee = program_.driverFunc(type);
+        rec.nextPc = program_.functions()[callee].entryPc;
+        ++transactions_;
+        ++frame.block;
+        frame.instr = 0;
+        stack_.push_back(Frame{callee, 0, 0});
+        break;
+      }
+      case TermKind::ReturnTerm: {
+        rec.cls = InstClass::Return;
+        rec.taken = true;
+        assert(stack_.size() > 1 && "dispatcher must not return");
+        stack_.pop_back();
+        // The caller frame was already advanced past its call block.
+        rec.nextPc = currentPc();
+        break;
+      }
+      case TermKind::FallThrough:
+        // Never generated; treat as a plain ALU op defensively.
+        rec.cls = InstClass::IntAlu;
+        rec.nextPc = pc + kInstBytes;
+        ++frame.block;
+        frame.instr = 0;
+        break;
+    }
+
+    return rec;
+}
+
+} // namespace emissary::trace

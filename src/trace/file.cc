@@ -1,0 +1,129 @@
+#include "trace/file.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace emissary::trace
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'E', 'M', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kRecordBytes = 8 + 8 + 8 + 1 + 1;
+
+void
+packRecord(const TraceRecord &rec, unsigned char *out)
+{
+    std::memcpy(out, &rec.pc, 8);
+    std::memcpy(out + 8, &rec.nextPc, 8);
+    std::memcpy(out + 16, &rec.memAddr, 8);
+    out[24] = static_cast<unsigned char>(rec.cls);
+    out[25] = rec.taken ? 1 : 0;
+}
+
+TraceRecord
+unpackRecord(const unsigned char *in)
+{
+    TraceRecord rec;
+    std::memcpy(&rec.pc, in, 8);
+    std::memcpy(&rec.nextPc, in + 8, 8);
+    std::memcpy(&rec.memAddr, in + 16, 8);
+    rec.cls = static_cast<InstClass>(in[24]);
+    rec.taken = in[25] != 0;
+    return rec;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        throw std::runtime_error("TraceWriter: cannot open " + path);
+    // Header: magic, version, count placeholder.
+    std::fwrite(kMagic, 1, 4, file_);
+    std::fwrite(&kVersion, 4, 1, file_);
+    const std::uint64_t zero = 0;
+    std::fwrite(&zero, 8, 1, file_);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!finished_)
+        finish();
+}
+
+void
+TraceWriter::append(const TraceRecord &rec)
+{
+    unsigned char buffer[kRecordBytes];
+    packRecord(rec, buffer);
+    if (std::fwrite(buffer, 1, kRecordBytes, file_) != kRecordBytes)
+        throw std::runtime_error("TraceWriter: short write");
+    ++count_;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    std::fseek(file_, 8, SEEK_SET);
+    std::fwrite(&count_, 8, 1, file_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+FileTraceSource::FileTraceSource(const std::string &path)
+    : name_("trace:" + path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        throw std::runtime_error("FileTraceSource: cannot open " +
+                                 path);
+    char magic[4];
+    std::uint32_t version = 0;
+    std::uint64_t count = 0;
+    if (std::fread(magic, 1, 4, file) != 4 ||
+        std::memcmp(magic, kMagic, 4) != 0) {
+        std::fclose(file);
+        throw std::runtime_error("FileTraceSource: bad magic");
+    }
+    if (std::fread(&version, 4, 1, file) != 1 ||
+        version != kVersion) {
+        std::fclose(file);
+        throw std::runtime_error("FileTraceSource: bad version");
+    }
+    if (std::fread(&count, 8, 1, file) != 1 || count == 0) {
+        std::fclose(file);
+        throw std::runtime_error("FileTraceSource: empty trace");
+    }
+    records_.reserve(count);
+    unsigned char buffer[kRecordBytes];
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (std::fread(buffer, 1, kRecordBytes, file) !=
+            kRecordBytes) {
+            std::fclose(file);
+            throw std::runtime_error("FileTraceSource: truncated");
+        }
+        records_.push_back(unpackRecord(buffer));
+    }
+    std::fclose(file);
+}
+
+TraceRecord
+FileTraceSource::next()
+{
+    const TraceRecord rec = records_[pos_];
+    ++pos_;
+    if (pos_ == records_.size()) {
+        pos_ = 0;
+        ++wraps_;
+    }
+    return rec;
+}
+
+} // namespace emissary::trace

@@ -1,0 +1,257 @@
+#include "trace/profile.hh"
+
+#include <stdexcept>
+
+namespace emissary::trace
+{
+
+namespace
+{
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+/**
+ * Build the suite once. Parameters are calibrated so that, on the
+ * Alderlake-like baseline (Table 4), each benchmark lands near its
+ * published instruction footprint (Fig. 4) and in the right MPKI
+ * regime (Fig. 3 / Fig. 5 x-axes): e.g. verilator is code-giant and
+ * data-light, web-search and xapian nearly fit in L2, media-stream
+ * and kafka are data-dominated.
+ */
+std::vector<WorkloadProfile>
+buildSuite()
+{
+    std::vector<WorkloadProfile> suite;
+
+    auto add = [&suite](WorkloadProfile p) {
+        p.seed = 0xE3155A47ULL * (suite.size() + 1);
+        suite.push_back(std::move(p));
+    };
+
+    {
+        WorkloadProfile p;
+        p.name = "specjbb";
+        p.codeFootprintBytes = 1200 * kKiB;
+        p.transactionTypes = 96;
+        p.transactionSkew = 1.45;
+        p.functionsPerTransaction = 10;
+        p.hardBranchFraction = 0.045;
+        p.hotDataBytes = 768 * kKiB;  // high L1D pressure
+        p.hotDataSkew = 1.12;
+        p.coldAccessFraction = 0.010;
+        p.dataFootprintBytes = 48 * kMiB;
+        p.stackAccessFraction = 0.30;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "xapian";
+        p.codeFootprintBytes = 290 * kKiB;  // smallest footprint
+        p.transactionTypes = 32;
+        p.transactionSkew = 1.4;
+        p.functionsPerTransaction = 8;
+        p.hardBranchFraction = 0.03;
+        p.hotDataBytes = 256 * kKiB;
+        p.hotDataSkew = 1.35;
+        p.coldAccessFraction = 0.004;
+        p.dataFootprintBytes = 12 * kMiB;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "finagle-http";
+        p.codeFootprintBytes = 1500 * kKiB;
+        p.transactionTypes = 128;
+        p.transactionSkew = 0.95;
+        p.functionsPerTransaction = 16;
+        p.hardBranchFraction = 0.05;
+        p.hotDataBytes = 384 * kKiB;
+        p.hotDataSkew = 1.25;
+        p.coldAccessFraction = 0.008;
+        p.dataFootprintBytes = 10 * kMiB;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "finagle-chirper";
+        p.codeFootprintBytes = 1350 * kKiB;
+        p.transactionTypes = 128;
+        p.transactionSkew = 1.0;
+        p.functionsPerTransaction = 14;
+        p.hardBranchFraction = 0.055;
+        p.hotDataBytes = 384 * kKiB;
+        p.hotDataSkew = 1.25;
+        p.coldAccessFraction = 0.008;
+        p.dataFootprintBytes = 12 * kMiB;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "tomcat";
+        p.codeFootprintBytes = 2570 * kKiB;  // largest footprint
+        p.transactionTypes = 160;
+        p.transactionSkew = 1.15;
+        p.functionsPerTransaction = 16;
+        p.hardBranchFraction = 0.05;
+        p.hotDataBytes = 512 * kKiB;
+        p.hotDataSkew = 1.20;
+        p.coldAccessFraction = 0.022;
+        p.dataFootprintBytes = 16 * kMiB;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "kafka";
+        p.codeFootprintBytes = 900 * kKiB;
+        p.transactionTypes = 48;
+        p.transactionSkew = 2.6;
+        p.functionsPerTransaction = 10;
+        p.hardBranchFraction = 0.035;
+        p.hotDataBytes = 768 * kKiB;  // data contends with code in L2
+        p.hotDataSkew = 0.95;
+        p.coldAccessFraction = 0.008;
+        p.dataFootprintBytes = 64 * kMiB;
+        p.stackAccessFraction = 0.30;
+        p.streamingFraction = 0.04;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "tpcc";
+        p.codeFootprintBytes = 520 * kKiB;
+        p.transactionTypes = 24;
+        p.transactionSkew = 2.0;
+        p.functionsPerTransaction = 8;
+        p.hardBranchFraction = 0.03;
+        p.hotDataBytes = 448 * kKiB;
+        p.hotDataSkew = 1.30;
+        p.coldAccessFraction = 0.005;
+        p.dataFootprintBytes = 24 * kMiB;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "wikipedia";
+        p.codeFootprintBytes = 1050 * kKiB;
+        p.transactionTypes = 80;
+        p.transactionSkew = 1.45;
+        p.functionsPerTransaction = 12;
+        p.hardBranchFraction = 0.04;
+        p.hotDataBytes = 512 * kKiB;
+        p.hotDataSkew = 1.25;
+        p.coldAccessFraction = 0.010;
+        p.dataFootprintBytes = 20 * kMiB;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "media-stream";
+        p.codeFootprintBytes = 620 * kKiB;
+        p.transactionTypes = 40;
+        p.transactionSkew = 2.4;
+        p.functionsPerTransaction = 9;
+        p.hardBranchFraction = 0.025;
+        p.hotDataBytes = 1024 * kKiB;  // buffers overflow the L2
+        p.hotDataSkew = 0.97;
+        p.coldAccessFraction = 0.006;
+        p.dataFootprintBytes = 96 * kMiB;
+        p.stackAccessFraction = 0.25;
+        p.streamingFraction = 0.05;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "web-search";
+        p.codeFootprintBytes = 520 * kKiB;
+        p.transactionTypes = 24;
+        p.transactionSkew = 1.9;  // very hot inner loop
+        p.functionsPerTransaction = 8;
+        p.hardBranchFraction = 0.03;
+        p.hotDataBytes = 512 * kKiB;
+        p.hotDataSkew = 1.30;
+        p.coldAccessFraction = 0.003;
+        p.dataFootprintBytes = 32 * kMiB;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "data-serving";
+        p.codeFootprintBytes = 1250 * kKiB;
+        p.transactionTypes = 96;
+        p.transactionSkew = 1.25;
+        p.functionsPerTransaction = 12;
+        p.hardBranchFraction = 0.045;
+        p.hotDataBytes = 640 * kKiB;
+        p.hotDataSkew = 1.15;
+        p.coldAccessFraction = 0.012;
+        p.dataFootprintBytes = 40 * kMiB;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "verilator";
+        p.codeFootprintBytes = 2250 * kKiB;  // generated RTL code
+        p.transactionTypes = 224;
+        p.transactionSkew = 0.2;   // sweeps nearly all code each cycle
+        p.functionsPerTransaction = 12;  // below chunk size: no hot pad
+        p.hardBranchFraction = 0.02;
+        p.loopFraction = 0.04;     // Verilated code is straight-line
+        p.meanTripCount = 2.0;
+        p.meanBlockInstrs = 14;
+        p.meanBlocksPerFunction = 16;
+        p.loadFraction = 0.18;
+        p.storeFraction = 0.08;
+        p.hotDataBytes = 192 * kKiB;  // data-light
+        p.hotDataSkew = 1.40;
+        p.coldAccessFraction = 0.002;
+        p.dataFootprintBytes = 6 * kMiB;
+        p.stackAccessFraction = 0.55;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "speedometer2.0";
+        p.codeFootprintBytes = 780 * kKiB;
+        p.transactionTypes = 56;
+        p.transactionSkew = 2.0;
+        p.functionsPerTransaction = 10;
+        p.hardBranchFraction = 0.05;
+        p.hotDataBytes = 640 * kKiB;
+        p.hotDataSkew = 1.15;
+        p.coldAccessFraction = 0.006;
+        p.dataFootprintBytes = 24 * kMiB;
+        add(p);
+    }
+
+    return suite;
+}
+
+} // namespace
+
+std::vector<WorkloadProfile>
+datacenterSuite()
+{
+    static const std::vector<WorkloadProfile> suite = buildSuite();
+    return suite;
+}
+
+WorkloadProfile
+profileByName(const std::string &name)
+{
+    for (const auto &profile : datacenterSuite())
+        if (profile.name == name)
+            return profile;
+    throw std::invalid_argument("unknown benchmark profile: " + name);
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const auto &profile : datacenterSuite())
+        names.push_back(profile.name);
+    return names;
+}
+
+} // namespace emissary::trace

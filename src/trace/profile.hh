@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Workload profiles for the 13 datacenter benchmarks of the paper.
+ *
+ * We cannot ship the authors' QEMU/gem5 snapshots of the real
+ * applications, so each benchmark is modelled by a parameter set that
+ * reproduces the properties the EMISSARY mechanism is sensitive to:
+ * instruction footprint (paper Fig. 4), cache MPKI profile (Fig. 3),
+ * the short/mid/long reuse-distance mix (Fig. 2), and front-end
+ * predictability. See DESIGN.md, "Substitutions".
+ */
+
+#ifndef EMISSARY_TRACE_PROFILE_HH
+#define EMISSARY_TRACE_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emissary::trace
+{
+
+/** Generation parameters for one synthetic workload. */
+struct WorkloadProfile
+{
+    std::string name;
+
+    /** Static code bytes the program touches (Fig. 4 target). */
+    std::uint64_t codeFootprintBytes = 1 << 20;
+
+    /** Distinct transaction (request) types in the dispatch loop. */
+    unsigned transactionTypes = 64;
+
+    /** Zipf skew of transaction popularity; higher = hotter loop. */
+    double transactionSkew = 0.9;
+
+    /** Probability that the dispatcher repeats one of the last few
+     *  distinct transaction types instead of drawing fresh: real
+     *  request traffic is bursty, which gives even rare endpoints
+     *  short-term reuse (an LRU-friendly mid tier). */
+    double burstRepeatProbability = 0.30;
+
+    /** Size of the recent-type window bursts draw from. */
+    unsigned burstWindow = 4;
+
+    /** Zipf skew of function popularity inside transactions. */
+    double functionSkew = 0.8;
+
+    /** Mean functions called per transaction. */
+    unsigned functionsPerTransaction = 12;
+
+    /** Mean instructions per basic block. */
+    unsigned meanBlockInstrs = 8;
+
+    /** Mean basic blocks per function. */
+    unsigned meanBlocksPerFunction = 10;
+
+    /** Fraction of blocks that are loop latches. */
+    double loopFraction = 0.15;
+
+    /** Mean loop trip count. */
+    double meanTripCount = 6.0;
+
+    /** Fraction of conditional branches that are hard to predict. */
+    double hardBranchFraction = 0.04;
+
+    /** Fraction of instructions that are loads / stores. */
+    double loadFraction = 0.22;
+    double storeFraction = 0.10;
+
+    /**
+     * Heap model: a two-tier mix. Most heap accesses draw from a hot
+     * region (Zipf over hotDataBytes) sized between L1D and the L2 so
+     * it contends with instructions for L2 ways — the central tension
+     * of §6 — while a small coldAccessFraction of accesses touch a
+     * large cold region (uniform over dataFootprintBytes) and miss
+     * the whole hierarchy. A single Zipf cannot reproduce the
+     * measured high-L1D / low-L2D knee of Fig. 3; this mix can.
+     */
+    std::uint64_t hotDataBytes = 512 * 1024;
+    double hotDataSkew = 0.85;
+    double coldAccessFraction = 0.015;
+
+    /** Bytes of the cold heap region. */
+    std::uint64_t dataFootprintBytes = 8 << 20;
+
+    /** Fraction of memory ops that are stack accesses (L1D hits). */
+    double stackAccessFraction = 0.45;
+
+    /** Fraction of memory ops that stream through a large region. */
+    double streamingFraction = 0.05;
+
+    /** Generation seed; fixed per benchmark for reproducibility. */
+    std::uint64_t seed = 1;
+};
+
+/** The paper's 13 server benchmarks (§5.3), as profile instances. */
+std::vector<WorkloadProfile> datacenterSuite();
+
+/** Look up one suite profile by name; throws if unknown. */
+WorkloadProfile profileByName(const std::string &name);
+
+/** Names of all suite benchmarks, in the paper's figure order. */
+std::vector<std::string> suiteNames();
+
+} // namespace emissary::trace
+
+#endif // EMISSARY_TRACE_PROFILE_HH

@@ -1,0 +1,333 @@
+#include "trace/program.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/bitutil.hh"
+
+namespace emissary::trace
+{
+
+namespace
+{
+
+/** splitmix64 finalizer; used to derive per-PC pseudo-random facts. */
+std::uint64_t
+hashPc(std::uint64_t pc)
+{
+    std::uint64_t z = pc + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Geometric-ish draw with the given mean, clamped to [lo, hi]. */
+std::uint32_t
+drawCount(Rng &rng, double mean_value, std::uint32_t lo, std::uint32_t hi)
+{
+    const double u = rng.nextDouble();
+    const double x = -mean_value * std::log(1.0 - u);
+    const auto n = static_cast<std::uint32_t>(x);
+    return std::clamp(n, lo, hi);
+}
+
+} // namespace
+
+SyntheticProgram::SyntheticProgram(const WorkloadProfile &profile)
+    : profile_(profile),
+      txnSampler_(std::max(1u, profile.transactionTypes),
+                  profile.transactionSkew)
+{
+    const double load_frac = profile_.loadFraction;
+    const double store_frac = profile_.storeFraction;
+    const double mul_frac = 0.05;
+    const auto scale = [](double f) {
+        return static_cast<std::uint64_t>(
+            f * static_cast<double>(~std::uint64_t{0}));
+    };
+    loadThreshold_ = scale(load_frac);
+    storeThreshold_ = scale(load_frac + store_frac);
+    mulThreshold_ = scale(load_frac + store_frac + mul_frac);
+
+    generate();
+}
+
+InstClass
+SyntheticProgram::bodyClassAt(std::uint64_t pc) const
+{
+    const std::uint64_t h = hashPc(pc);
+    if (h < loadThreshold_)
+        return InstClass::Load;
+    if (h < storeThreshold_)
+        return InstClass::Store;
+    if (h < mulThreshold_)
+        return InstClass::IntMul;
+    return InstClass::IntAlu;
+}
+
+std::uint32_t
+SyntheticProgram::driverFunc(std::uint32_t type) const
+{
+    return drivers_.at(type);
+}
+
+std::uint32_t
+SyntheticProgram::transactionTypes() const
+{
+    return static_cast<std::uint32_t>(drivers_.size());
+}
+
+std::uint32_t
+SyntheticProgram::makeWorkerFunction(
+    Rng &rng, const std::vector<std::uint32_t> &callees)
+{
+    Function fn;
+    fn.firstBlock = static_cast<std::uint32_t>(blocks_.size());
+
+    const std::uint32_t n_blocks = drawCount(
+        rng, profile_.meanBlocksPerFunction, 3, 64);
+
+    // Loop ranges are kept disjoint (a latch's back edge never spans
+    // another latch), so a frame has at most one active loop and a
+    // single per-frame iteration counter suffices in the executor.
+    std::uint32_t loop_floor = 0;
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+        BasicBlock block;
+        block.bodyInstrs = static_cast<std::uint16_t>(
+            drawCount(rng, profile_.meanBlockInstrs, 1, 32));
+
+        const bool last = (b + 1 == n_blocks);
+        if (last) {
+            block.term = TermKind::ReturnTerm;
+        } else if (b > loop_floor && rng.chance(profile_.loopFraction)) {
+            // Loop latch: back edge to a recent earlier block, with a
+            // deterministic trip count.
+            block.term = TermKind::CondLoop;
+            const std::uint32_t max_span =
+                std::min(b - loop_floor, 3u);
+            const std::uint32_t span =
+                1 + static_cast<std::uint32_t>(
+                        rng.nextBelow(max_span));
+            block.targetBlock = b - span;
+            loop_floor = b + 1;
+            // Deterministic trip count: real loops mostly run a
+            // learnable number of iterations, which is what lets
+            // TAGE predict their exits.
+            const double trips = std::max(
+                2.0, profile_.meanTripCount * (0.5 + rng.nextDouble()));
+            block.tripCount = static_cast<std::uint16_t>(
+                std::min(trips, 64.0));
+            block.takenBias = 1.0f;
+        } else if (!callees.empty() && rng.chance(0.18)) {
+            block.term = TermKind::CallLocal;
+            block.calleeFunc = callees[rng.nextBelow(callees.size())];
+        } else if (rng.chance(0.12)) {
+            block.term = TermKind::Jump;
+            block.targetBlock = b + 1;
+        } else {
+            block.term = TermKind::CondForward;
+            const std::uint32_t skip =
+                1 + static_cast<std::uint32_t>(rng.nextBelow(3));
+            block.targetBlock = std::min(b + 1 + skip, n_blocks - 1);
+            if (rng.chance(profile_.hardBranchFraction)) {
+                block.takenBias =
+                    static_cast<float>(0.35 + 0.30 * rng.nextDouble());
+            } else if (rng.chance(0.5)) {
+                // Strongly biased: the small residual noise models
+                // data-dependent exceptions to the common path.
+                block.takenBias =
+                    static_cast<float>(0.97 + 0.028 * rng.nextDouble());
+            } else {
+                block.takenBias =
+                    static_cast<float>(0.002 + 0.028 * rng.nextDouble());
+            }
+        }
+        blocks_.push_back(block);
+    }
+
+    fn.blockCount = n_blocks;
+    functions_.push_back(fn);
+    return static_cast<std::uint32_t>(functions_.size() - 1);
+}
+
+std::uint32_t
+SyntheticProgram::makeDriverFunction(
+    Rng &rng, const std::vector<std::uint32_t> &sequence)
+{
+    Function fn;
+    fn.firstBlock = static_cast<std::uint32_t>(blocks_.size());
+
+    for (const std::uint32_t callee : sequence) {
+        BasicBlock block;
+        block.bodyInstrs = static_cast<std::uint16_t>(
+            2 + rng.nextBelow(4));
+        block.term = TermKind::CallLocal;
+        block.calleeFunc = callee;
+        blocks_.push_back(block);
+    }
+
+    BasicBlock ret;
+    ret.bodyInstrs = static_cast<std::uint16_t>(1 + rng.nextBelow(3));
+    ret.term = TermKind::ReturnTerm;
+    blocks_.push_back(ret);
+
+    fn.blockCount = static_cast<std::uint32_t>(sequence.size() + 1);
+    functions_.push_back(fn);
+    return static_cast<std::uint32_t>(functions_.size() - 1);
+}
+
+std::uint32_t
+SyntheticProgram::makeDispatcher(Rng &rng)
+{
+    Function fn;
+    fn.firstBlock = static_cast<std::uint32_t>(blocks_.size());
+
+    // Block 0: poll / bookkeeping work, then indirect-call a driver.
+    BasicBlock dispatch;
+    dispatch.bodyInstrs = static_cast<std::uint16_t>(4 + rng.nextBelow(4));
+    dispatch.term = TermKind::DispatchCall;
+    blocks_.push_back(dispatch);
+
+    // Block 1: post-transaction work, loop back forever.
+    BasicBlock loop_back;
+    loop_back.bodyInstrs = static_cast<std::uint16_t>(3 + rng.nextBelow(4));
+    loop_back.term = TermKind::Jump;
+    loop_back.targetBlock = 0;
+    blocks_.push_back(loop_back);
+
+    fn.blockCount = 2;
+    functions_.push_back(fn);
+    return static_cast<std::uint32_t>(functions_.size() - 1);
+}
+
+void
+SyntheticProgram::generate()
+{
+    Rng rng(profile_.seed);
+
+    // --- Worker population ------------------------------------------
+    // Reserve roughly 8% of the code budget for drivers + dispatcher.
+    const std::uint64_t worker_budget =
+        profile_.codeFootprintBytes -
+        std::min<std::uint64_t>(profile_.codeFootprintBytes / 12,
+                                64 * 1024);
+
+    // A handful of "utility" workers model shared library code that
+    // every transaction type exercises (allocation, string ops, ...).
+    constexpr std::uint32_t kUtilityWorkers = 8;
+
+    std::vector<std::uint32_t> leaf_workers;
+    std::vector<std::uint32_t> all_workers;
+    std::uint64_t bytes = 0;
+    const std::vector<std::uint32_t> no_callees;
+
+    while (bytes < worker_budget) {
+        std::uint32_t idx;
+        const bool can_call =
+            !leaf_workers.empty() && rng.chance(0.25) &&
+            all_workers.size() > kUtilityWorkers;
+        if (can_call) {
+            // Mid-tier worker: may call up to three leaf helpers.
+            std::vector<std::uint32_t> callees;
+            const std::size_t n = 1 + rng.nextBelow(3);
+            for (std::size_t i = 0; i < n; ++i)
+                callees.push_back(
+                    leaf_workers[rng.nextBelow(leaf_workers.size())]);
+            idx = makeWorkerFunction(rng, callees);
+        } else {
+            idx = makeWorkerFunction(rng, no_callees);
+            leaf_workers.push_back(idx);
+        }
+        all_workers.push_back(idx);
+
+        const Function &fn = functions_[idx];
+        for (std::uint32_t b = 0; b < fn.blockCount; ++b)
+            bytes += blocks_[fn.firstBlock + b].instrCount() * kInstBytes;
+    }
+
+    if (all_workers.size() < kUtilityWorkers + profile_.transactionTypes)
+        throw std::invalid_argument(
+            "profile too small: code footprint cannot cover "
+            "transaction types");
+
+    // --- Transaction drivers ----------------------------------------
+    // Deal every non-utility worker to exactly one driver so that the
+    // whole footprint is reachable, with hot (low-index) types owning
+    // the earliest-generated (hottest) workers. Every driver also
+    // calls a couple of utility workers.
+    const std::uint32_t types = profile_.transactionTypes;
+    std::vector<std::vector<std::uint32_t>> sequences(types);
+
+    std::vector<std::uint32_t> pool(all_workers.begin() + kUtilityWorkers,
+                                    all_workers.end());
+    // Hot drivers get slightly longer sequences; deal proportionally.
+    std::size_t cursor = 0;
+    for (std::uint32_t t = 0; t < types && cursor < pool.size(); ++t) {
+        const std::size_t remaining_types = types - t;
+        const std::size_t remaining_pool = pool.size() - cursor;
+        std::size_t take = remaining_pool / remaining_types;
+        take = std::max<std::size_t>(take, 1);
+        take = std::min(take, remaining_pool);
+        for (std::size_t i = 0; i < take; ++i)
+            sequences[t].push_back(pool[cursor++]);
+    }
+    // Any leftovers (rounding) go to the last driver.
+    while (cursor < pool.size())
+        sequences[types - 1].push_back(pool[cursor++]);
+
+    for (std::uint32_t t = 0; t < types; ++t) {
+        // Pad short sequences toward functionsPerTransaction with
+        // repeat calls to hot workers; never trim, so every dealt
+        // worker stays reachable and the static footprint is honest.
+        while (sequences[t].size() < profile_.functionsPerTransaction &&
+               !pool.empty())
+            sequences[t].push_back(pool[rng.nextBelow(
+                std::min<std::size_t>(pool.size(), 64))]);
+        const std::size_t n_util = 1 + rng.nextBelow(2);
+        for (std::size_t i = 0; i < n_util; ++i)
+            sequences[t].push_back(static_cast<std::uint32_t>(
+                rng.nextBelow(kUtilityWorkers)));
+        // Shuffle so utility calls interleave with the chunk.
+        for (std::size_t i = sequences[t].size(); i > 1; --i)
+            std::swap(sequences[t][i - 1],
+                      sequences[t][rng.nextBelow(i)]);
+    }
+
+    drivers_.reserve(types);
+    for (std::uint32_t t = 0; t < types; ++t)
+        drivers_.push_back(makeDriverFunction(rng, sequences[t]));
+
+    dispatcher_ = makeDispatcher(rng);
+
+    layout(rng);
+}
+
+void
+SyntheticProgram::layout(Rng &rng)
+{
+    // Functions are placed in a shuffled order so that hot code is not
+    // artificially contiguous (which would overstate next-line
+    // prefetch coverage and understate conflict misses).
+    std::vector<std::uint32_t> order(functions_.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.nextBelow(i)]);
+
+    std::uint64_t pc = kCodeBase;
+    for (const std::uint32_t f : order) {
+        pc = alignUp(pc, 16);
+        Function &fn = functions_[f];
+        fn.entryPc = pc;
+        for (std::uint32_t b = 0; b < fn.blockCount; ++b) {
+            BasicBlock &block = blocks_[fn.firstBlock + b];
+            block.startPc = pc;
+            pc += std::uint64_t{block.instrCount()} * kInstBytes;
+        }
+    }
+    staticCodeBytes_ = pc - kCodeBase;
+}
+
+} // namespace emissary::trace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Static structure of a synthetic datacenter-style program.
+ *
+ * A SyntheticProgram is a deterministic function of its profile and
+ * seed: a dispatcher loop, a set of transaction driver functions (one
+ * per request type), and a large population of worker functions laid
+ * out across the instruction address space. Execution (executor.hh)
+ * walks this structure, producing the committed-path trace.
+ *
+ * The structure is engineered to reproduce the properties of Fig. 2
+ * of the paper: a hot dispatcher and hot workers give Short Reuse
+ * lines, per-transaction worker chains give Mid Reuse lines, and cold
+ * request types touched rarely give the Long Reuse lines that cause
+ * the bulk of decode starvation.
+ */
+
+#ifndef EMISSARY_TRACE_PROGRAM_HH
+#define EMISSARY_TRACE_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/profile.hh"
+#include "trace/record.hh"
+#include "util/rng.hh"
+
+namespace emissary::trace
+{
+
+/** How a basic block transfers control when its body is done. */
+enum class TermKind : std::uint8_t
+{
+    FallThrough,   ///< No branch; layout successor.
+    CondForward,   ///< Conditional skip ahead within the function.
+    CondLoop,      ///< Conditional back edge (loop latch).
+    Jump,          ///< Unconditional direct jump within the function.
+    CallLocal,     ///< Direct call to another function, then resume.
+    ReturnTerm,    ///< Function return.
+    DispatchCall,  ///< Indirect call to a transaction driver.
+};
+
+/** One static basic block. */
+struct BasicBlock
+{
+    std::uint64_t startPc = 0;   ///< Address of the first instruction.
+    std::uint16_t bodyInstrs = 0; ///< Instructions before terminator.
+    TermKind term = TermKind::FallThrough;
+    std::uint32_t targetBlock = 0; ///< Block index for branch/jump.
+    std::uint32_t calleeFunc = 0;  ///< Function index for CallLocal.
+    float takenBias = 0.5f;        ///< P(taken) for CondForward terms.
+    std::uint16_t tripCount = 0;   ///< Deterministic trips (CondLoop).
+
+    /** Total instructions including the terminator (if any). */
+    std::uint32_t
+    instrCount() const
+    {
+        return bodyInstrs + (term == TermKind::FallThrough ? 0 : 1);
+    }
+
+    /** Address of the terminator instruction. */
+    std::uint64_t
+    termPc() const
+    {
+        return startPc + std::uint64_t{bodyInstrs} * kInstBytes;
+    }
+
+    /** Address one past the last instruction. */
+    std::uint64_t
+    endPc() const
+    {
+        return startPc + std::uint64_t{instrCount()} * kInstBytes;
+    }
+};
+
+/** One static function: a contiguous run of basic blocks. */
+struct Function
+{
+    std::uint32_t firstBlock = 0; ///< Index into Program::blocks.
+    std::uint32_t blockCount = 0;
+    std::uint64_t entryPc = 0;
+};
+
+/** The whole static program. */
+class SyntheticProgram
+{
+  public:
+    /** Generate deterministically from @p profile (and its seed). */
+    explicit SyntheticProgram(const WorkloadProfile &profile);
+
+    const WorkloadProfile &profile() const { return profile_; }
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    const std::vector<Function> &functions() const { return functions_; }
+
+    /** Function index of the dispatcher loop (execution root). */
+    std::uint32_t dispatcherFunc() const { return dispatcher_; }
+
+    /** Driver function index for transaction type @p type. */
+    std::uint32_t driverFunc(std::uint32_t type) const;
+
+    /** Number of transaction types (== number of drivers). */
+    std::uint32_t transactionTypes() const;
+
+    /** Static code bytes actually generated. */
+    std::uint64_t staticCodeBytes() const { return staticCodeBytes_; }
+
+    /** Base of the code region in the address space. */
+    static constexpr std::uint64_t kCodeBase = 0x0000000010000000ULL;
+
+    /**
+     * Instruction class of a non-terminator (body) instruction, a
+     * pure function of its PC so every component agrees on it.
+     */
+    InstClass bodyClassAt(std::uint64_t pc) const;
+
+    /** Sampler over transaction types (popularity = Zipf). */
+    const ZipfSampler &transactionSampler() const { return txnSampler_; }
+
+  private:
+    void generate();
+
+    /** Append one worker function; returns its index. */
+    std::uint32_t
+    makeWorkerFunction(Rng &rng, const std::vector<std::uint32_t> &callees);
+
+    /** Append one driver that calls @p sequence in order. */
+    std::uint32_t
+    makeDriverFunction(Rng &rng,
+                       const std::vector<std::uint32_t> &sequence);
+
+    /** Append the dispatcher loop function. */
+    std::uint32_t makeDispatcher(Rng &rng);
+
+    /** Assign addresses to all blocks (shuffled function order). */
+    void layout(Rng &rng);
+
+    WorkloadProfile profile_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<Function> functions_;
+    std::vector<std::uint32_t> drivers_;
+    std::uint32_t dispatcher_ = 0;
+    std::uint64_t staticCodeBytes_ = 0;
+    ZipfSampler txnSampler_;
+
+    // Thresholds for bodyClassAt, precomputed from the profile.
+    std::uint64_t loadThreshold_ = 0;
+    std::uint64_t storeThreshold_ = 0;
+    std::uint64_t mulThreshold_ = 0;
+};
+
+} // namespace emissary::trace
+
+#endif // EMISSARY_TRACE_PROGRAM_HH

@@ -1,0 +1,86 @@
+#include "trace/reuse.hh"
+
+#include <algorithm>
+
+namespace emissary::trace
+{
+
+namespace
+{
+constexpr std::size_t kInitialCapacity = 1 << 16;
+} // namespace
+
+ReuseDistanceTracker::ReuseDistanceTracker()
+{
+    tree_.assign(kInitialCapacity + 1, 0);
+}
+
+void
+ReuseDistanceTracker::fenwickAdd(std::size_t index, int delta)
+{
+    for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1))
+        tree_[i] = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(tree_[i]) + delta);
+}
+
+std::uint64_t
+ReuseDistanceTracker::fenwickPrefix(std::size_t index) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1))
+        sum += tree_[i];
+    return sum;
+}
+
+void
+ReuseDistanceTracker::compact()
+{
+    // Re-number live lines' timestamps by their current order so the
+    // tree shrinks back to one slot per live line.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> order;
+    order.reserve(lastTime_.size());
+    for (const auto &[line, t] : lastTime_)
+        order.emplace_back(t, line);
+    std::sort(order.begin(), order.end());
+
+    const std::size_t needed =
+        std::max<std::size_t>(2 * order.size() + 64, kInitialCapacity);
+    tree_.assign(needed + 1, 0);
+    now_ = 0;
+    for (const auto &[t, line] : order) {
+        lastTime_[line] = now_;
+        fenwickAdd(static_cast<std::size_t>(now_), 1);
+        ++now_;
+    }
+}
+
+std::uint64_t
+ReuseDistanceTracker::access(std::uint64_t line)
+{
+    if (line == lastLine_)
+        return 0;
+    lastLine_ = line;
+
+    if (now_ + 1 >= tree_.size())
+        compact();
+
+    const auto it = lastTime_.find(line);
+    std::uint64_t distance;
+    if (it == lastTime_.end()) {
+        distance = kCold;
+        lastTime_.emplace(line, now_);
+    } else {
+        const std::uint64_t prev = it->second;
+        distance = active_ - fenwickPrefix(static_cast<std::size_t>(prev));
+        fenwickAdd(static_cast<std::size_t>(prev), -1);
+        --active_;
+        it->second = now_;
+    }
+
+    fenwickAdd(static_cast<std::size_t>(now_), 1);
+    ++active_;
+    ++now_;
+    return distance;
+}
+
+} // namespace emissary::trace

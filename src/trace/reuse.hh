@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Exact unique-line reuse-distance measurement (Olken's algorithm).
+ *
+ * The paper (Fig. 2) measures reuse distance as "the number of unique
+ * lines accessed between two accesses to the same line", with
+ * consecutive same-line accesses not counted. This tracker computes
+ * that exactly using a Fenwick tree over last-access timestamps,
+ * compacting timestamps periodically so memory stays bounded by the
+ * number of live lines rather than the trace length.
+ */
+
+#ifndef EMISSARY_TRACE_REUSE_HH
+#define EMISSARY_TRACE_REUSE_HH
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace emissary::trace
+{
+
+/** Tracks per-line unique reuse distances over an access stream. */
+class ReuseDistanceTracker
+{
+  public:
+    /** Distance reported for a line's first (cold) access. */
+    static constexpr std::uint64_t kCold =
+        std::numeric_limits<std::uint64_t>::max();
+
+    ReuseDistanceTracker();
+
+    /**
+     * Record an access to @p line.
+     *
+     * @return The number of distinct other lines touched since the
+     *         previous access to @p line, or kCold on first touch.
+     *         Consecutive accesses to the same line return 0 and do
+     *         not perturb state.
+     */
+    std::uint64_t access(std::uint64_t line);
+
+    /** Number of distinct lines seen so far. */
+    std::uint64_t uniqueLines() const { return lastTime_.size(); }
+
+  private:
+    void fenwickAdd(std::size_t index, int delta);
+    std::uint64_t fenwickPrefix(std::size_t index) const;
+    void compact();
+
+    std::vector<std::uint32_t> tree_;
+    std::unordered_map<std::uint64_t, std::uint64_t> lastTime_;
+    std::uint64_t now_ = 0;
+    std::uint64_t active_ = 0;
+    std::uint64_t lastLine_ = kCold;
+};
+
+} // namespace emissary::trace
+
+#endif // EMISSARY_TRACE_REUSE_HH

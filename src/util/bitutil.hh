@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the simulator.
+ */
+
+#ifndef EMISSARY_UTIL_BITUTIL_HH
+#define EMISSARY_UTIL_BITUTIL_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace emissary
+{
+
+/** Return true when @p v is a non-zero power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Integer base-2 logarithm of a power of two.
+ *
+ * @param v Value to take the logarithm of; must be a power of two.
+ * @return floor(log2(v)).
+ */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** Round @p v down to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [lo, lo+len) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned len)
+{
+    if (len >= 64)
+        return v >> lo;
+    return (v >> lo) & ((std::uint64_t{1} << len) - 1);
+}
+
+} // namespace emissary
+
+#endif // EMISSARY_UTIL_BITUTIL_HH

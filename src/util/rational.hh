@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Exact rational probabilities for the paper's R(r) notation.
+ *
+ * The EMISSARY paper expresses the random mode-selection filter as a
+ * rational probability such as R(1/32). Keeping the value exact lets
+ * the policy parser round-trip the paper's notation and lets hardware-
+ * faithful power-of-two selection (a masked LFSR draw) be used when
+ * the denominator allows it.
+ */
+
+#ifndef EMISSARY_UTIL_RATIONAL_HH
+#define EMISSARY_UTIL_RATIONAL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace emissary
+{
+
+class Rng;
+
+/** An exact non-negative rational in [0, 1], e.g. the 1/32 in R(1/32). */
+class Rational
+{
+  public:
+    /** Default: probability one (always). */
+    constexpr Rational() : num_(1), den_(1) {}
+
+    /** @param num Numerator. @param den Denominator; must be > 0. */
+    Rational(std::uint64_t num, std::uint64_t den);
+
+    std::uint64_t numerator() const { return num_; }
+    std::uint64_t denominator() const { return den_; }
+
+    /** Value as a double, for reporting. */
+    double value() const;
+
+    /** True when the probability is exactly one. */
+    bool isOne() const { return num_ == den_; }
+
+    /** True when the probability is exactly zero. */
+    bool isZero() const { return num_ == 0; }
+
+    /** Draw a Bernoulli trial with this probability. */
+    bool draw(Rng &rng) const;
+
+    /** Render in the paper's notation, e.g. "1/32". */
+    std::string toString() const;
+
+    /**
+     * Parse "a/b" or a bare integer "a" (meaning a/1).
+     * @throws std::invalid_argument on malformed input.
+     */
+    static Rational parse(const std::string &text);
+
+    bool operator==(const Rational &other) const;
+
+  private:
+    std::uint64_t num_;
+    std::uint64_t den_;
+};
+
+} // namespace emissary
+
+#endif // EMISSARY_UTIL_RATIONAL_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the bimodal-insertion true-LRU family (M: policies).
+ */
+
+#include <gtest/gtest.h>
+
+#include "replacement/lru.hh"
+
+namespace emissary::replacement
+{
+namespace
+{
+
+LineInfo
+info(bool high)
+{
+    LineInfo li;
+    li.isInstruction = true;
+    li.highPriority = high;
+    return li;
+}
+
+TEST(InsertionLru, ClassicLruOrder)
+{
+    InsertionLru lru(1, 4, "M:1");
+    for (unsigned w = 0; w < 4; ++w)
+        lru.onInsert(0, w, info(true));
+    // Way 0 is oldest.
+    EXPECT_EQ(lru.selectVictim(0), 0u);
+    lru.onHit(0, 0, info(true));
+    // Now way 1 is oldest.
+    EXPECT_EQ(lru.selectVictim(0), 1u);
+}
+
+TEST(InsertionLru, RecencyRank)
+{
+    InsertionLru lru(1, 4, "M:1");
+    for (unsigned w = 0; w < 4; ++w)
+        lru.onInsert(0, w, info(true));
+    EXPECT_EQ(lru.recencyRank(0, 0), 0u);  // LRU
+    EXPECT_EQ(lru.recencyRank(0, 3), 3u);  // MRU
+}
+
+TEST(InsertionLru, LipInsertsAtLruPosition)
+{
+    InsertionLru lru(1, 4, "M:0");
+    for (unsigned w = 0; w < 4; ++w)
+        lru.onInsert(0, w, info(true));
+    // Low-priority insertion lands at the LRU end: immediately the
+    // next victim.
+    lru.onInvalidate(0, 2);
+    lru.onInsert(0, 2, info(false));
+    EXPECT_EQ(lru.selectVictim(0), 2u);
+    EXPECT_EQ(lru.recencyRank(0, 2), 0u);
+}
+
+TEST(InsertionLru, HitPromotesLowInsertToMru)
+{
+    InsertionLru lru(1, 4, "M:0");
+    for (unsigned w = 0; w < 4; ++w)
+        lru.onInsert(0, w, info(false));
+    lru.onHit(0, 1, info(false));
+    EXPECT_EQ(lru.recencyRank(0, 1), 3u);
+    EXPECT_NE(lru.selectVictim(0), 1u);
+}
+
+TEST(InsertionLru, MruHintOverridesLowPriority)
+{
+    InsertionLru lru(1, 4, "M:0");
+    for (unsigned w = 0; w < 4; ++w)
+        lru.onInsert(0, w, info(true));
+    lru.onInvalidate(0, 0);
+    LineInfo li = info(false);
+    li.insertMru = true;  // SFL-style hint.
+    lru.onInsert(0, 0, li);
+    EXPECT_EQ(lru.recencyRank(0, 0), 3u);
+}
+
+TEST(InsertionLru, SetsIsolated)
+{
+    InsertionLru lru(2, 2, "M:1");
+    lru.onInsert(0, 0, info(true));
+    lru.onInsert(0, 1, info(true));
+    lru.onInsert(1, 0, info(true));
+    lru.onInsert(1, 1, info(true));
+    lru.onHit(0, 0, info(true));
+    // Set 1 unaffected by set 0's hit.
+    EXPECT_EQ(lru.selectVictim(1), 0u);
+    EXPECT_EQ(lru.selectVictim(0), 1u);
+}
+
+TEST(InsertionLru, InvalidatedWayBecomesVictim)
+{
+    InsertionLru lru(1, 4, "M:1");
+    for (unsigned w = 0; w < 4; ++w)
+        lru.onInsert(0, w, info(true));
+    lru.onHit(0, 0, info(true));
+    lru.onInvalidate(0, 3);
+    EXPECT_EQ(lru.selectVictim(0), 3u);
+}
+
+} // namespace
+} // namespace emissary::replacement

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the PDP and DCLIP comparator policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "replacement/dclip.hh"
+#include "replacement/pdp.hh"
+
+namespace emissary::replacement
+{
+namespace
+{
+
+LineInfo
+line(bool is_instruction)
+{
+    LineInfo li;
+    li.isInstruction = is_instruction;
+    return li;
+}
+
+TEST(Pdp, InsertSetsProtectingDistance)
+{
+    PdpPolicy p(16, 4, 10);
+    p.onInsert(0, 0, line(true));
+    EXPECT_EQ(p.remaining(0, 0), 10u);
+}
+
+TEST(Pdp, AccessesAgeTheSet)
+{
+    PdpPolicy p(16, 4, 10);
+    p.onInsert(0, 0, line(true));
+    p.onInsert(0, 1, line(true));  // Ages way 0 by one.
+    EXPECT_EQ(p.remaining(0, 0), 9u);
+    p.onHit(0, 1, line(true));
+    EXPECT_EQ(p.remaining(0, 0), 8u);
+    EXPECT_EQ(p.remaining(0, 1), 10u);
+}
+
+TEST(Pdp, UnprotectedLinePreferredAsVictim)
+{
+    PdpPolicy p(16, 4, 3);
+    for (unsigned w = 0; w < 4; ++w)
+        p.onInsert(0, w, line(true));
+    // Age way 0 to zero with repeated hits elsewhere.
+    for (int i = 0; i < 5; ++i)
+        p.onHit(0, 3, line(true));
+    EXPECT_EQ(p.remaining(0, 0), 0u);
+    EXPECT_EQ(p.selectVictim(0), 0u);
+}
+
+TEST(Pdp, ClosestToExpiryWhenAllProtected)
+{
+    PdpPolicy p(16, 4, 100);
+    for (unsigned w = 0; w < 4; ++w)
+        p.onInsert(0, w, line(true));
+    // Way 0 was aged by the three later inserts: smallest remaining.
+    EXPECT_EQ(p.selectVictim(0), 0u);
+}
+
+TEST(Pdp, InvalidateZeroesDistance)
+{
+    PdpPolicy p(16, 4, 10);
+    p.onInsert(0, 2, line(true));
+    p.onInvalidate(0, 2);
+    EXPECT_EQ(p.remaining(0, 2), 0u);
+}
+
+TEST(Dclip, CodeLinesInsertAtMruWhenEngaged)
+{
+    DclipPolicy p(1024, 16);
+    EXPECT_TRUE(p.clipEngaged());  // PSEL starts at 0 -> CLIP.
+    unsigned follower = 0;
+    while (p.isClipLeaderForTest(follower) ||
+           p.isSrripLeaderForTest(follower))
+        ++follower;
+    p.onInsert(follower, 0, line(true));
+    for (unsigned w = 1; w < 16; ++w)
+        p.onInsert(follower, w, line(false));
+    // Instruction line near, data lines distant: the leftmost data
+    // line is aged out first.
+    EXPECT_EQ(p.selectVictim(follower), 1u);
+}
+
+TEST(Dclip, DuelingDisengagesCodePreference)
+{
+    DclipPolicy p(1024, 16);
+    unsigned clip_leader = 0;
+    while (!p.isClipLeaderForTest(clip_leader))
+        ++clip_leader;
+    for (int i = 0; i < 600; ++i)
+        p.onMiss(clip_leader);  // CLIP losing.
+    EXPECT_FALSE(p.clipEngaged());
+}
+
+TEST(Dclip, Name)
+{
+    DclipPolicy p(64, 16);
+    EXPECT_EQ(p.name(), "DCLIP");
+}
+
+} // namespace
+} // namespace emissary::replacement

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Property tests for the reuse-distance tracker: compared against a
+ * brute-force reference on random and structured streams, including
+ * across internal timestamp compaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/reuse.hh"
+#include "util/rng.hh"
+
+namespace emissary::trace
+{
+namespace
+{
+
+/** O(n) reference: unique lines between consecutive same-line uses. */
+class ReferenceTracker
+{
+  public:
+    std::uint64_t
+    access(std::uint64_t line)
+    {
+        if (!history_.empty() && history_.back() == line)
+            return 0;
+        std::uint64_t distance = ReuseDistanceTracker::kCold;
+        std::vector<std::uint64_t> seen;
+        for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+            if (*it == line) {
+                std::vector<std::uint64_t> unique;
+                for (const auto v : seen)
+                    if (v != line &&
+                        std::find(unique.begin(), unique.end(), v) ==
+                            unique.end())
+                        unique.push_back(v);
+                distance = unique.size();
+                break;
+            }
+            seen.push_back(*it);
+        }
+        history_.push_back(line);
+        return distance;
+    }
+
+  private:
+    std::vector<std::uint64_t> history_;
+};
+
+TEST(ReuseDistance, SimpleSequence)
+{
+    ReuseDistanceTracker t;
+    EXPECT_EQ(t.access(1), ReuseDistanceTracker::kCold);
+    EXPECT_EQ(t.access(2), ReuseDistanceTracker::kCold);
+    EXPECT_EQ(t.access(3), ReuseDistanceTracker::kCold);
+    // 1 was last seen before {2, 3}: distance 2.
+    EXPECT_EQ(t.access(1), 2u);
+    // 2 last seen before {3, 1}: distance 2.
+    EXPECT_EQ(t.access(2), 2u);
+    // Immediate re-access: distance 0 by the paper's convention.
+    EXPECT_EQ(t.access(2), 0u);
+    // 3 last seen before {1, 2}: distance 2.
+    EXPECT_EQ(t.access(3), 2u);
+}
+
+TEST(ReuseDistance, ConsecutiveSameLineNotCounted)
+{
+    ReuseDistanceTracker t;
+    t.access(7);
+    EXPECT_EQ(t.access(7), 0u);
+    EXPECT_EQ(t.access(7), 0u);
+    t.access(8);
+    // Only 8 intervened (the repeats of 7 collapse).
+    EXPECT_EQ(t.access(7), 1u);
+}
+
+TEST(ReuseDistance, TightLoop)
+{
+    ReuseDistanceTracker t;
+    for (int lap = 0; lap < 10; ++lap) {
+        for (std::uint64_t line = 0; line < 8; ++line) {
+            const std::uint64_t d = t.access(line);
+            if (lap == 0)
+                EXPECT_EQ(d, ReuseDistanceTracker::kCold);
+            else
+                EXPECT_EQ(d, 7u);
+        }
+    }
+    EXPECT_EQ(t.uniqueLines(), 8u);
+}
+
+TEST(ReuseDistance, MatchesReferenceOnRandomStream)
+{
+    Rng rng(99);
+    ReuseDistanceTracker fast;
+    ReferenceTracker slow;
+    for (int i = 0; i < 4000; ++i) {
+        const std::uint64_t line = rng.nextBelow(60);
+        ASSERT_EQ(fast.access(line), slow.access(line))
+            << "diverged at access " << i;
+    }
+}
+
+TEST(ReuseDistance, MatchesReferenceAcrossCompaction)
+{
+    // Enough accesses over a small line population to force several
+    // internal compactions (initial capacity is 64 Ki timestamps).
+    Rng rng(123);
+    ReuseDistanceTracker fast;
+    std::unordered_map<std::uint64_t, std::uint64_t> expected_prev;
+
+    // Structured pattern: strided sweep over 100 lines -> every
+    // non-first access has exactly 99 distinct intermediates.
+    for (int lap = 0; lap < 2000; ++lap) {
+        for (std::uint64_t line = 0; line < 100; ++line) {
+            const std::uint64_t d = fast.access(line);
+            if (lap == 0)
+                EXPECT_EQ(d, ReuseDistanceTracker::kCold);
+            else
+                ASSERT_EQ(d, 99u) << "lap " << lap;
+        }
+    }
+    EXPECT_EQ(fast.uniqueLines(), 100u);
+}
+
+TEST(ReuseDistance, LongTailMix)
+{
+    // Zipf-like mix: hot lines have short distances, cold lines long.
+    Rng rng(7);
+    ZipfSampler sampler(2000, 1.0);
+    ReuseDistanceTracker t;
+    std::uint64_t hot_sum = 0;
+    std::uint64_t hot_n = 0;
+    std::uint64_t cold_sum = 0;
+    std::uint64_t cold_n = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const std::uint64_t line = sampler.sample(rng);
+        const std::uint64_t d = t.access(line);
+        if (d == ReuseDistanceTracker::kCold || d == 0)
+            continue;
+        if (line < 10) {
+            hot_sum += d;
+            ++hot_n;
+        } else if (line > 1000) {
+            cold_sum += d;
+            ++cold_n;
+        }
+    }
+    ASSERT_GT(hot_n, 0u);
+    ASSERT_GT(cold_n, 0u);
+    EXPECT_LT(hot_sum / hot_n, cold_sum / cold_n);
+}
+
+} // namespace
+} // namespace emissary::trace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the RRIP comparator family (SRRIP / BRRIP / DRRIP).
+ */
+
+#include <gtest/gtest.h>
+
+#include "replacement/rrip.hh"
+
+namespace emissary::replacement
+{
+namespace
+{
+
+LineInfo
+plain()
+{
+    LineInfo li;
+    li.isInstruction = true;
+    return li;
+}
+
+TEST(Srrip, InsertAtLongInterval)
+{
+    RripPolicy p(64, 16, RripMode::Static);
+    p.onInsert(0, 0, plain());
+    EXPECT_EQ(p.rrpv(0, 0), RripPolicy::kMaxRrpv - 1);
+}
+
+TEST(Srrip, VictimIsMaxRrpvLeftmost)
+{
+    RripPolicy p(64, 4, RripMode::Static);
+    for (unsigned w = 0; w < 4; ++w)
+        p.onInsert(0, w, plain());
+    // All at rrpv 2; victim search ages everyone to 3 and picks way 0.
+    EXPECT_EQ(p.selectVictim(0), 0u);
+    EXPECT_EQ(p.rrpv(0, 1), RripPolicy::kMaxRrpv);
+}
+
+TEST(Srrip, FrequencyPromotionSteps)
+{
+    RripPolicy p(64, 4, RripMode::Static);
+    p.onInsert(0, 0, plain());
+    p.onInsert(0, 1, plain());
+    const unsigned start = p.rrpv(0, 0);
+    p.onHit(0, 0, plain());
+    EXPECT_EQ(p.rrpv(0, 0), start - 1);
+}
+
+TEST(Srrip, SaturationResetWhenAllReachZero)
+{
+    // The paper's §5.5 description: when every line in a set reaches
+    // the highest priority state, the whole set resets to a low
+    // priority state (the hit line stays at 0).
+    RripPolicy p(64, 2, RripMode::Static);
+    p.onInsert(0, 0, plain());
+    p.onInsert(0, 1, plain());
+    // Promote both to 0.
+    p.onHit(0, 0, plain());
+    p.onHit(0, 0, plain());
+    ASSERT_EQ(p.rrpv(0, 0), 0u);
+    p.onHit(0, 1, plain());
+    ASSERT_EQ(p.rrpv(0, 1), 1u);
+    p.onHit(0, 1, plain());  // Both now 0 -> reset fires.
+    EXPECT_EQ(p.rrpv(0, 1), 0u);  // Hit line stays promoted.
+    EXPECT_EQ(p.rrpv(0, 0), RripPolicy::kMaxRrpv - 1);
+}
+
+TEST(Srrip, SflHintInsertsAtMru)
+{
+    RripPolicy p(64, 4, RripMode::Static);
+    LineInfo li = plain();
+    li.insertMru = true;
+    p.onInsert(0, 0, li);
+    EXPECT_EQ(p.rrpv(0, 0), 0u);
+}
+
+TEST(Brrip, MostInsertsAtDistantInterval)
+{
+    RripPolicy p(64, 16, RripMode::Bimodal, Rational(1, 32), 77);
+    int near = 0;
+    const int trials = 6400;
+    for (int i = 0; i < trials; ++i) {
+        const unsigned set = static_cast<unsigned>(i % 64);
+        const unsigned way = static_cast<unsigned>((i / 64) % 16);
+        p.onInvalidate(set, way);
+        p.onInsert(set, way, plain());
+        if (p.rrpv(set, way) == RripPolicy::kMaxRrpv - 1)
+            ++near;
+    }
+    EXPECT_NEAR(static_cast<double>(near) / trials, 1.0 / 32, 0.02);
+}
+
+TEST(Drrip, LeaderSetsDisjoint)
+{
+    RripPolicy p(1024, 16, RripMode::Dynamic);
+    unsigned srrip_leaders = 0;
+    unsigned brrip_leaders = 0;
+    for (unsigned set = 0; set < 1024; ++set) {
+        EXPECT_FALSE(p.isSrripLeader(set) && p.isBrripLeader(set));
+        srrip_leaders += p.isSrripLeader(set);
+        brrip_leaders += p.isBrripLeader(set);
+    }
+    EXPECT_EQ(srrip_leaders, RripPolicy::kLeaderSets);
+    EXPECT_EQ(brrip_leaders, RripPolicy::kLeaderSets);
+}
+
+TEST(Drrip, DuelingFollowsWinner)
+{
+    RripPolicy p(1024, 16, RripMode::Dynamic);
+    // Hammer misses into SRRIP leaders: PSEL rises, followers go
+    // bimodal (insert at max).
+    unsigned srrip_leader = 0;
+    while (!p.isSrripLeader(srrip_leader))
+        ++srrip_leader;
+    for (int i = 0; i < 600; ++i)
+        p.onMiss(srrip_leader);
+    unsigned follower = 0;
+    while (p.isSrripLeader(follower) || p.isBrripLeader(follower))
+        ++follower;
+    // Sample repeatedly: the follower should now use BRRIP insertion
+    // (mostly distant).
+    int distant = 0;
+    for (int i = 0; i < 64; ++i) {
+        p.onInvalidate(follower, 0);
+        p.onInsert(follower, 0, plain());
+        if (p.rrpv(follower, 0) == RripPolicy::kMaxRrpv)
+            ++distant;
+    }
+    EXPECT_GT(distant, 48);
+
+    // Now hammer BRRIP leaders: PSEL falls back, followers go static.
+    unsigned brrip_leader = 0;
+    while (!p.isBrripLeader(brrip_leader))
+        ++brrip_leader;
+    for (int i = 0; i < 1200; ++i)
+        p.onMiss(brrip_leader);
+    p.onInvalidate(follower, 0);
+    p.onInsert(follower, 0, plain());
+    EXPECT_EQ(p.rrpv(follower, 0), RripPolicy::kMaxRrpv - 1);
+}
+
+TEST(Rrip, Names)
+{
+    EXPECT_EQ(RripPolicy(8, 4, RripMode::Static).name(), "SRRIP");
+    EXPECT_EQ(RripPolicy(8, 4, RripMode::Bimodal).name(), "BRRIP");
+    EXPECT_EQ(RripPolicy(8, 4, RripMode::Dynamic).name(), "DRRIP");
+}
+
+} // namespace
+} // namespace emissary::replacement

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * End-to-end simulator tests: metric consistency, determinism,
+ * warmup-window accounting, configuration effects (FDIP, ideal L2I),
+ * and the §6 priority reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/simulator.hh"
+#include "trace/executor.hh"
+
+namespace emissary::core
+{
+namespace
+{
+
+trace::WorkloadProfile
+smallProfile()
+{
+    trace::WorkloadProfile p;
+    p.name = "sim-test";
+    p.codeFootprintBytes = 256 * 1024;
+    p.transactionTypes = 16;
+    p.functionsPerTransaction = 8;
+    p.dataFootprintBytes = 4 << 20;
+    p.hotDataBytes = 128 * 1024;
+    p.seed = 99;
+    return p;
+}
+
+Simulator::Config
+simConfig(const std::string &policy, std::uint64_t measure = 150000)
+{
+    MachineOptions options;
+    options.l2Policy = policy;
+    Simulator::Config config;
+    config.machine = alderlakeConfig(options);
+    config.warmupInstructions = measure / 4;
+    config.measureInstructions = measure;
+    return config;
+}
+
+TEST(Simulator, MetricsAreConsistent)
+{
+    const trace::SyntheticProgram program(smallProfile());
+    trace::SyntheticExecutor executor(program);
+    Simulator sim(simConfig("TPLRU"), executor);
+    const Metrics m = sim.run();
+
+    // Commit retires up to 8 per cycle, so the window can overshoot
+    // the target by at most width-1 instructions.
+    EXPECT_GE(m.instructions, 150000u);
+    EXPECT_LT(m.instructions, 150008u);
+    EXPECT_GT(m.cycles, 0u);
+    EXPECT_NEAR(m.ipc,
+                static_cast<double>(m.instructions) /
+                    static_cast<double>(m.cycles),
+                1e-9);
+    EXPECT_GT(m.ipc, 0.1);
+    EXPECT_LT(m.ipc, 8.0);
+    EXPECT_GE(m.l1iMpki, m.l2InstMpki);
+    EXPECT_LE(m.feStallCycles + m.beStallCycles, m.cycles);
+    EXPECT_GE(m.starvationCycles, m.starvationIqEmptyCycles);
+    EXPECT_GT(m.energy.total(), 0.0);
+    EXPECT_EQ(m.benchmark, "sim-test");
+    EXPECT_EQ(m.policy, "TPLRU");
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    const trace::SyntheticProgram program(smallProfile());
+    trace::SyntheticExecutor e1(program);
+    trace::SyntheticExecutor e2(program);
+    Simulator s1(simConfig("P(8):S&E"), e1);
+    Simulator s2(simConfig("P(8):S&E"), e2);
+    const Metrics a = s1.run();
+    const Metrics b = s2.run();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.starvationCycles, b.starvationCycles);
+    EXPECT_EQ(a.highPriorityFills, b.highPriorityFills);
+}
+
+TEST(Simulator, PoliciesSeeIdenticalInstructionStream)
+{
+    // Different L2 policies must replay the same committed path: the
+    // instruction count and mix are identical, only timing differs.
+    const trace::SyntheticProgram program(smallProfile());
+    RunOptions options;
+    options.measureInstructions = 100000;
+    options.warmupInstructions = 25000;
+    const Metrics a = runPolicy(program, "TPLRU", options);
+    const Metrics b = runPolicy(program, "P(8):S&E", options);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.codeFootprintLines, b.codeFootprintLines);
+}
+
+TEST(Simulator, EmissaryProducesPriorityActivity)
+{
+    const trace::SyntheticProgram program(smallProfile());
+    RunOptions options;
+    options.measureInstructions = 200000;
+    options.warmupInstructions = 50000;
+    const Metrics base = runPolicy(program, "TPLRU", options);
+    const Metrics emi = runPolicy(program, "P(8):S", options);
+    EXPECT_EQ(base.highPriorityFills, 0u);
+    EXPECT_GT(emi.highPriorityFills, 0u);
+    EXPECT_GT(emi.priorityUpgrades, 0u);
+    // The Fig. 8 distribution must sum to ~1 over all bins.
+    double sum = 0.0;
+    for (const double f : emi.priorityDistribution)
+        sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Simulator, FdipImprovesPerformance)
+{
+    const trace::SyntheticProgram program(smallProfile());
+    RunOptions with;
+    with.measureInstructions = 150000;
+    with.warmupInstructions = 40000;
+    RunOptions without = with;
+    without.fdip = false;
+    const Metrics a = runPolicy(program, "TPLRU", with);
+    const Metrics b = runPolicy(program, "TPLRU", without);
+    EXPECT_LT(a.cycles, b.cycles)
+        << "FDIP must speed up a front-end-bound workload";
+}
+
+TEST(Simulator, IdealL2InstIsAnUpperBoundIsh)
+{
+    const trace::SyntheticProgram program(smallProfile());
+    RunOptions normal;
+    normal.measureInstructions = 150000;
+    normal.warmupInstructions = 40000;
+    RunOptions ideal = normal;
+    ideal.idealL2Inst = true;
+    const Metrics a = runPolicy(program, "TPLRU", normal);
+    const Metrics b = runPolicy(program, "TPLRU", ideal);
+    EXPECT_LE(b.cycles, a.cycles);
+}
+
+TEST(Simulator, PriorityResetBoundsSaturation)
+{
+    const trace::SyntheticProgram program(smallProfile());
+    RunOptions options;
+    options.measureInstructions = 200000;
+    options.warmupInstructions = 50000;
+    RunOptions with_reset = options;
+    with_reset.priorityResetInstructions = 20000;
+    const Metrics a = runPolicy(program, "P(8):S", options);
+    const Metrics b = runPolicy(program, "P(8):S", with_reset);
+    // Resetting cannot increase the end-of-run protected population.
+    double a_saturated = 0.0;
+    double b_saturated = 0.0;
+    for (std::size_t i = 8; i < a.priorityDistribution.size(); ++i) {
+        a_saturated += a.priorityDistribution[i];
+        b_saturated += b.priorityDistribution[i];
+    }
+    EXPECT_LE(b_saturated, a_saturated + 1e-9);
+}
+
+TEST(Experiment, SpeedupHelpers)
+{
+    Metrics base;
+    base.cycles = 1000;
+    Metrics fast;
+    fast.cycles = 800;
+    EXPECT_NEAR(speedupPercent(base, fast), 25.0, 1e-9);
+    EXPECT_NEAR(geomeanSpeedupPercent({25.0, 0.0}), 11.8, 0.1);
+    EXPECT_DOUBLE_EQ(geomeanSpeedupPercent({}), 0.0);
+}
+
+TEST(Experiment, EnvParsing)
+{
+    ::setenv("EMISSARY_TEST_ENV", "123", 1);
+    EXPECT_EQ(envU64("EMISSARY_TEST_ENV", 7), 123u);
+    ::unsetenv("EMISSARY_TEST_ENV");
+    EXPECT_EQ(envU64("EMISSARY_TEST_ENV", 7), 7u);
+}
+
+} // namespace
+} // namespace emissary::core

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the stats library: histograms, counter registry and
+ * table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+#include "stats/registry.hh"
+#include "stats/table.hh"
+
+namespace emissary::stats
+{
+namespace
+{
+
+TEST(BoundedHistogram, Fig2Buckets)
+{
+    // The Short [0,100) / Mid [100,5000) / Long [>=5000) scheme.
+    BoundedHistogram h({0, 100, 5000});
+    h.sample(0);
+    h.sample(99);
+    h.sample(100);
+    h.sample(4999);
+    h.sample(5000);
+    h.sample(1000000);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 2u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 1.0 / 3.0);
+}
+
+TEST(BoundedHistogram, Weighted)
+{
+    BoundedHistogram h({0, 10});
+    h.sample(5, 7);
+    h.sample(15, 3);
+    EXPECT_EQ(h.count(0), 7u);
+    EXPECT_EQ(h.count(1), 3u);
+    EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(BoundedHistogram, BucketForBoundary)
+{
+    BoundedHistogram h({0, 100, 5000});
+    EXPECT_EQ(h.bucketFor(0), 0u);
+    EXPECT_EQ(h.bucketFor(99), 0u);
+    EXPECT_EQ(h.bucketFor(100), 1u);
+    EXPECT_EQ(h.bucketFor(5000), 2u);
+}
+
+TEST(BoundedHistogram, BadBoundsThrow)
+{
+    EXPECT_THROW(BoundedHistogram({1, 2}), std::invalid_argument);
+    EXPECT_THROW(BoundedHistogram({0, 5, 3}), std::invalid_argument);
+    EXPECT_THROW(BoundedHistogram({}), std::invalid_argument);
+}
+
+TEST(BoundedHistogram, Reset)
+{
+    BoundedHistogram h({0, 10});
+    h.sample(3);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.count(0), 0u);
+}
+
+TEST(DenseHistogram, Basic)
+{
+    DenseHistogram h(17);  // 0..16 protected lines (Fig. 8 domain).
+    h.sample(0, 5);
+    h.sample(8, 3);
+    h.sample(16);
+    EXPECT_EQ(h.count(0), 5u);
+    EXPECT_EQ(h.count(8), 3u);
+    EXPECT_EQ(h.count(16), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(8), 3.0 / 9.0);
+    EXPECT_THROW(h.sample(17), std::out_of_range);
+}
+
+TEST(DenseHistogram, Merge)
+{
+    DenseHistogram a(4);
+    DenseHistogram b(4);
+    a.sample(1, 2);
+    b.sample(1, 3);
+    b.sample(2, 1);
+    a.merge(b);
+    EXPECT_EQ(a.count(1), 5u);
+    EXPECT_EQ(a.count(2), 1u);
+    EXPECT_EQ(a.total(), 6u);
+
+    DenseHistogram c(5);
+    EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Registry, CounterLifecycle)
+{
+    Registry reg;
+    reg.counter("l2.inst_misses").increment(3);
+    reg.counter("l2.inst_misses").increment();
+    EXPECT_EQ(reg.value("l2.inst_misses"), 4u);
+    EXPECT_EQ(reg.value("missing"), 0u);
+    EXPECT_TRUE(reg.has("l2.inst_misses"));
+    EXPECT_FALSE(reg.has("missing"));
+}
+
+TEST(Registry, NamesSortedAndReset)
+{
+    Registry reg;
+    reg.counter("b").increment();
+    reg.counter("a").increment();
+    const auto names = reg.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a");
+    EXPECT_EQ(names[1], "b");
+    reg.resetAll();
+    EXPECT_EQ(reg.value("a"), 0u);
+    EXPECT_EQ(reg.value("b"), 0u);
+}
+
+TEST(Table, RenderAligned)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, Csv)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, WidthMismatchThrows)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace emissary::stats

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for binary trace recording and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/executor.hh"
+#include "trace/file.hh"
+#include "trace/program.hh"
+
+namespace emissary::trace
+{
+namespace
+{
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/emissary_" + tag +
+           ".trc";
+}
+
+WorkloadProfile
+tinyProfile()
+{
+    WorkloadProfile p;
+    p.name = "file-test";
+    p.codeFootprintBytes = 64 * 1024;
+    p.transactionTypes = 4;
+    p.functionsPerTransaction = 4;
+    p.dataFootprintBytes = 1 << 20;
+    p.hotDataBytes = 64 * 1024;
+    p.seed = 31415;
+    return p;
+}
+
+TEST(TraceFile, RoundTrip)
+{
+    const std::string path = tempPath("roundtrip");
+    const SyntheticProgram program(tinyProfile());
+    SyntheticExecutor executor(program);
+
+    std::vector<TraceRecord> expected;
+    {
+        TraceWriter writer(path);
+        for (int i = 0; i < 5000; ++i) {
+            const TraceRecord rec = executor.next();
+            writer.append(rec);
+            expected.push_back(rec);
+        }
+        writer.finish();
+        EXPECT_EQ(writer.recordCount(), 5000u);
+    }
+
+    FileTraceSource replay(path);
+    EXPECT_EQ(replay.recordCount(), 5000u);
+    for (const TraceRecord &want : expected) {
+        const TraceRecord got = replay.next();
+        ASSERT_EQ(got.pc, want.pc);
+        ASSERT_EQ(got.nextPc, want.nextPc);
+        ASSERT_EQ(got.memAddr, want.memAddr);
+        ASSERT_EQ(static_cast<int>(got.cls),
+                  static_cast<int>(want.cls));
+        ASSERT_EQ(got.taken, want.taken);
+    }
+    // The stream wraps to stay infinite.
+    EXPECT_EQ(replay.next().pc, expected.front().pc);
+    EXPECT_EQ(replay.wraps(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RecordingSourceTees)
+{
+    const std::string path = tempPath("tee");
+    const SyntheticProgram program(tinyProfile());
+    SyntheticExecutor executor(program);
+    {
+        TraceWriter writer(path);
+        RecordingSource tee(executor, writer);
+        for (int i = 0; i < 1000; ++i)
+            tee.next();
+        writer.finish();
+    }
+    FileTraceSource replay(path);
+    EXPECT_EQ(replay.recordCount(), 1000u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsGarbage)
+{
+    const std::string path = tempPath("garbage");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("not a trace", 1, 11, f);
+    std::fclose(f);
+    EXPECT_THROW(FileTraceSource{path}, std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsMissingFile)
+{
+    EXPECT_THROW(FileTraceSource{"/nonexistent/emissary.trc"},
+                 std::runtime_error);
+    EXPECT_THROW(TraceWriter{"/nonexistent/dir/out.trc"},
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace emissary::trace

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * emissary_sim: command-line driver for the simulator.
+ *
+ * Run any suite benchmark (or a recorded trace file) under any L2
+ * replacement policy on the Alderlake-like machine, with every knob
+ * of the paper's evaluation exposed as a flag.
+ *
+ * Examples:
+ *   emissary_sim --benchmark tomcat --policy "P(8):S&E&R(1/32)"
+ *   emissary_sim --benchmark verilator --policy DRRIP --csv
+ *   emissary_sim --benchmark kafka --record kafka.trc
+ *   emissary_sim --trace kafka.trc --policy "P(8):S&E"
+ *   emissary_sim --benchmark tomcat --no-fdip --policy TPLRU
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/simulator.hh"
+#include "trace/executor.hh"
+#include "trace/file.hh"
+#include "util/strutil.hh"
+
+namespace
+{
+
+using namespace emissary;
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --benchmark NAME     suite benchmark (default tomcat)\n"
+        "  --list               list suite benchmarks and exit\n"
+        "  --trace FILE         replay a recorded trace instead\n"
+        "  --record FILE        record the trace while simulating\n"
+        "  --policy SPEC        L2 policy, paper notation "
+        "(default TPLRU)\n"
+        "  --l1i-policy SPEC    L1I policy (ablation; default "
+        "TPLRU)\n"
+        "  --instructions N     measured window (default 1500000)\n"
+        "  --warmup N           warm-up instructions (default N/4)\n"
+        "  --no-fdip            disable the decoupled prefetcher\n"
+        "  --no-nlp             disable next-line prefetching\n"
+        "  --ideal-l2i          zero-cycle-miss-latency L2-I model\n"
+        "  --true-lru           EMISSARY on true LRU (not TPLRU)\n"
+        "  --bypass             low-priority lines bypass the L2\n"
+        "  --reset N            clear priority bits every N instrs\n"
+        "  --seed N             machine seed\n"
+        "  --csv                one-line CSV output\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string benchmark = "tomcat";
+    std::string trace_path;
+    std::string record_path;
+    core::MachineOptions machine_options;
+    std::uint64_t instructions = 1'500'000;
+    std::uint64_t warmup = 0;
+    std::uint64_t reset = 0;
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--benchmark") {
+            benchmark = value();
+        } else if (arg == "--list") {
+            for (const auto &name : trace::suiteNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--trace") {
+            trace_path = value();
+        } else if (arg == "--record") {
+            record_path = value();
+        } else if (arg == "--policy") {
+            machine_options.l2Policy = value();
+        } else if (arg == "--l1i-policy") {
+            machine_options.l1iPolicy = value();
+        } else if (arg == "--instructions") {
+            instructions = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--no-fdip") {
+            machine_options.fdip = false;
+        } else if (arg == "--no-nlp") {
+            machine_options.nextLinePrefetch = false;
+        } else if (arg == "--ideal-l2i") {
+            machine_options.idealL2Inst = true;
+        } else if (arg == "--true-lru") {
+            machine_options.emissaryTreePlru = false;
+        } else if (arg == "--bypass") {
+            machine_options.bypassLowPriorityInst = true;
+        } else if (arg == "--reset") {
+            reset = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--seed") {
+            machine_options.seed =
+                std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    try {
+        // Build the trace source stack.
+        std::unique_ptr<trace::SyntheticProgram> program;
+        std::unique_ptr<trace::TraceSource> base_source;
+        if (!trace_path.empty()) {
+            base_source =
+                std::make_unique<trace::FileTraceSource>(trace_path);
+        } else {
+            program = std::make_unique<trace::SyntheticProgram>(
+                trace::profileByName(benchmark));
+            base_source =
+                std::make_unique<trace::SyntheticExecutor>(*program);
+        }
+        std::unique_ptr<trace::TraceWriter> writer;
+        std::unique_ptr<trace::RecordingSource> recorder;
+        trace::TraceSource *source = base_source.get();
+        if (!record_path.empty()) {
+            writer =
+                std::make_unique<trace::TraceWriter>(record_path);
+            recorder = std::make_unique<trace::RecordingSource>(
+                *base_source, *writer);
+            source = recorder.get();
+        }
+
+        core::Simulator::Config config;
+        config.machine = core::alderlakeConfig(machine_options);
+        config.measureInstructions = instructions;
+        config.warmupInstructions =
+            warmup > 0 ? warmup : instructions / 4;
+        config.priorityResetInstructions = reset;
+
+        core::Simulator simulator(config, *source);
+        const core::Metrics m = simulator.run();
+        if (writer)
+            writer->finish();
+
+        if (csv) {
+            std::printf(
+                "benchmark,policy,instructions,cycles,ipc,l1iMpki,"
+                "l1dMpki,l2iMpki,l2dMpki,starv,starvIqEmpty,"
+                "feStalls,beStalls,energyJ\n");
+            std::printf(
+                "%s,%s,%llu,%llu,%.4f,%.3f,%.3f,%.3f,%.3f,%llu,"
+                "%llu,%llu,%llu,%.6e\n",
+                m.benchmark.c_str(), m.policy.c_str(),
+                static_cast<unsigned long long>(m.instructions),
+                static_cast<unsigned long long>(m.cycles), m.ipc,
+                m.l1iMpki, m.l1dMpki, m.l2InstMpki, m.l2DataMpki,
+                static_cast<unsigned long long>(m.starvationCycles),
+                static_cast<unsigned long long>(
+                    m.starvationIqEmptyCycles),
+                static_cast<unsigned long long>(m.feStallCycles),
+                static_cast<unsigned long long>(m.beStallCycles),
+                m.energy.total());
+            return 0;
+        }
+
+        std::printf("benchmark:          %s\n", m.benchmark.c_str());
+        std::printf("L2 policy:          %s\n", m.policy.c_str());
+        std::printf("instructions:       %llu\n",
+                    static_cast<unsigned long long>(m.instructions));
+        std::printf("cycles:             %llu\n",
+                    static_cast<unsigned long long>(m.cycles));
+        std::printf("IPC:                %.3f\n", m.ipc);
+        std::printf("L1I / L1D MPKI:     %.2f / %.2f\n", m.l1iMpki,
+                    m.l1dMpki);
+        std::printf("L2I / L2D MPKI:     %.2f / %.2f\n",
+                    m.l2InstMpki, m.l2DataMpki);
+        std::printf("starvation cycles:  %llu (%.1f%% of cycles; "
+                    "%llu with empty IQ)\n",
+                    static_cast<unsigned long long>(
+                        m.starvationCycles),
+                    m.cycles ? 100.0 *
+                                   static_cast<double>(
+                                       m.starvationCycles) /
+                                   static_cast<double>(m.cycles)
+                             : 0.0,
+                    static_cast<unsigned long long>(
+                        m.starvationIqEmptyCycles));
+        std::printf("FE / BE stalls:     %llu / %llu\n",
+                    static_cast<unsigned long long>(m.feStallCycles),
+                    static_cast<unsigned long long>(m.beStallCycles));
+        std::printf("energy:             %.3f mJ\n",
+                    m.energy.total() * 1e3);
+        std::printf("high-priority fills / upgrades: %llu / %llu\n",
+                    static_cast<unsigned long long>(
+                        m.highPriorityFills),
+                    static_cast<unsigned long long>(
+                        m.priorityUpgrades));
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
