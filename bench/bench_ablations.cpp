@@ -27,6 +27,35 @@ main()
                                              "verilator",
                                              "data-serving"};
 
+    // Grid columns: the baseline plus the four design-choice
+    // variants, each a RunSpec with its own machine knobs.
+    core::PolicyGrid grid;
+    for (const auto &name : subset)
+        grid.workloads.push_back(trace::profileByName(name));
+
+    grid.runs.emplace_back("TPLRU", options);
+
+    // The proposed design: EMISSARY at the L2.
+    grid.runs.emplace_back("P(8):S&E", options);
+
+    // §3 ablation: EMISSARY at the L1I only (L2 stays TPLRU).
+    core::RunOptions l1i_options = options;
+    l1i_options.l1iPolicy = "P(4):S&E";
+    grid.runs.emplace_back("EMISSARY@L1I", "TPLRU", l1i_options);
+
+    // §2 ablation: low-priority instruction lines bypass the L2.
+    core::RunOptions bypass_options = options;
+    bypass_options.bypassLowPriorityInst = true;
+    grid.runs.emplace_back("L2+bypass", "P(8):S&E", bypass_options);
+
+    // §4.2 ablation: true-LRU base instead of dual-tree TPLRU.
+    core::RunOptions true_lru = options;
+    true_lru.emissaryTreePlru = false;
+    grid.runs.emplace_back("true-LRU base", "P(8):S&E", true_lru);
+
+    core::ThreadPool pool;
+    const core::GridResults results = core::runGrid(grid, pool);
+
     stats::Table table({"benchmark", "P(8):S&E @L2%",
                         "EMISSARY @L1I%", "L2 + bypass%",
                         "true-LRU base%"});
@@ -34,46 +63,23 @@ main()
     std::vector<double> l1i_s;
     std::vector<double> bypass_s;
     std::vector<double> truelru_s;
-    for (const auto &name : subset) {
-        const trace::SyntheticProgram program(
-            trace::profileByName(name));
-        const core::Metrics base =
-            core::runPolicy(program, "TPLRU", options);
-
-        // The proposed design: EMISSARY at the L2.
-        const core::Metrics at_l2 =
-            core::runPolicy(program, "P(8):S&E", options);
-
-        // §3 ablation: EMISSARY at the L1I only (L2 stays TPLRU).
-        core::RunOptions l1i_options = options;
-        l1i_options.l1iPolicy = "P(4):S&E";
-        const core::Metrics at_l1i =
-            core::runPolicy(program, "TPLRU", l1i_options);
-
-        // §2 ablation: low-priority instruction lines bypass the L2.
-        core::RunOptions bypass_options = options;
-        bypass_options.bypassLowPriorityInst = true;
-        const core::Metrics bypass =
-            core::runPolicy(program, "P(8):S&E", bypass_options);
-
-        // §4.2 ablation: true-LRU base instead of dual-tree TPLRU.
-        core::RunOptions true_lru = options;
-        true_lru.emissaryTreePlru = false;
-        const core::Metrics tl =
-            core::runPolicy(program, "P(8):S&E", true_lru);
-
-        const double s_l2 = core::speedupPercent(base, at_l2);
-        const double s_l1i = core::speedupPercent(base, at_l1i);
-        const double s_bp = core::speedupPercent(base, bypass);
-        const double s_tl = core::speedupPercent(base, tl);
-        table.addRow({name, formatDouble(s_l2, 2),
+    for (std::size_t w = 0; w < subset.size(); ++w) {
+        const core::Metrics &base = results.at(w, 0);
+        const double s_l2 =
+            core::speedupPercent(base, results.at(w, 1));
+        const double s_l1i =
+            core::speedupPercent(base, results.at(w, 2));
+        const double s_bp =
+            core::speedupPercent(base, results.at(w, 3));
+        const double s_tl =
+            core::speedupPercent(base, results.at(w, 4));
+        table.addRow({subset[w], formatDouble(s_l2, 2),
                       formatDouble(s_l1i, 2), formatDouble(s_bp, 2),
                       formatDouble(s_tl, 2)});
         l2_s.push_back(s_l2);
         l1i_s.push_back(s_l1i);
         bypass_s.push_back(s_bp);
         truelru_s.push_back(s_tl);
-        std::fflush(stdout);
     }
     table.addRow({"geomean",
                   formatDouble(core::geomeanSpeedupPercent(l2_s), 2),
@@ -83,6 +89,7 @@ main()
                   formatDouble(core::geomeanSpeedupPercent(truelru_s),
                                2)});
     std::printf("%s\n", table.render().c_str());
+    bench::reportSweepTiming(results, grid.workloads);
     std::printf(
         "paper shape: the L2 placement wins; L1I-EMISSARY is near\n"
         "zero (§3); bypass does not beat insert-always (§2); the\n"

@@ -126,50 +126,69 @@ main()
     bench::banner("Belady (OPT) bound for L2 instruction misses",
                   "§1/§7.1 context (OPT / CSOPT framing)", options);
 
+    // Each benchmark's row — an instrumented baseline run, an
+    // EMISSARY run and the offline OPT analysis — is independent of
+    // every other row, so rows fan out directly across the pool and
+    // land in slots indexed by suite position.
+    const auto profiles = core::selectedBenchmarks();
+    std::vector<std::vector<std::string>> rows(profiles.size());
+    core::ThreadPool pool;
+    std::vector<std::future<void>> jobs;
+    jobs.reserve(profiles.size());
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        jobs.push_back(pool.submit([&, b]() {
+            const trace::SyntheticProgram program(profiles[b]);
+
+            // Record the baseline's L2-instruction access stream.
+            trace::SyntheticExecutor executor(program);
+            StreamRecorder recorder;
+            core::Simulator::Config sim_config;
+            sim_config.machine =
+                core::alderlakeConfig(core::MachineOptions{});
+            sim_config.warmupInstructions =
+                options.warmupInstructions;
+            sim_config.measureInstructions =
+                options.measureInstructions;
+            core::Simulator sim(sim_config, executor);
+            sim.hierarchy().setObserver(&recorder);
+            // Warm-up accesses prime OPT's state; only window
+            // accesses count, so the bound and the measured MPKI are
+            // comparable.
+            sim.setOnMeasureStart(
+                [&recorder]() { recorder.markBoundary(); });
+            const core::Metrics base = sim.run();
+
+            const core::Metrics emi =
+                core::runPolicy(program, "P(8):S&E", options);
+
+            const unsigned sets = sim.hierarchy().l2().numSets();
+            const unsigned ways = sim.hierarchy().l2().numWays();
+            const std::uint64_t opt_misses = beladyMisses(
+                recorder.stream(), recorder.boundary(), sets, ways);
+            const double ki =
+                static_cast<double>(base.instructions) / 1000.0;
+            const double opt_mpki =
+                static_cast<double>(opt_misses) / (ki > 0 ? ki : 1);
+
+            rows[b] = {
+                profiles[b].name,
+                formatDouble(base.l2InstMpki, 2),
+                formatDouble(emi.l2InstMpki, 2),
+                formatDouble(opt_mpki, 2),
+                opt_mpki > 0.01
+                    ? formatDouble(base.l2InstMpki / opt_mpki, 2)
+                    : std::string("-"),
+                formatDouble(core::speedupPercent(base, emi), 2)};
+        }));
+    }
+    for (auto &job : jobs)
+        job.get();
+
     stats::Table table({"benchmark", "TPLRU L2I MPKI",
                         "P(8):S&E MPKI", "OPT MPKI",
                         "TPLRU/OPT", "EMISSARY speedup%"});
-    for (const auto &profile : core::selectedBenchmarks()) {
-        const trace::SyntheticProgram program(profile);
-
-        // Record the baseline's L2-instruction access stream.
-        trace::SyntheticExecutor executor(program);
-        StreamRecorder recorder;
-        core::Simulator::Config sim_config;
-        sim_config.machine =
-            core::alderlakeConfig(core::MachineOptions{});
-        sim_config.warmupInstructions = options.warmupInstructions;
-        sim_config.measureInstructions = options.measureInstructions;
-        core::Simulator sim(sim_config, executor);
-        sim.hierarchy().setObserver(&recorder);
-        // Warm-up accesses prime OPT's state; only window accesses
-        // count, so the bound and the measured MPKI are comparable.
-        sim.setOnMeasureStart(
-            [&recorder]() { recorder.markBoundary(); });
-        const core::Metrics base = sim.run();
-
-        const core::Metrics emi =
-            core::runPolicy(program, "P(8):S&E", options);
-
-        const unsigned sets = sim.hierarchy().l2().numSets();
-        const unsigned ways = sim.hierarchy().l2().numWays();
-        const std::uint64_t opt_misses = beladyMisses(
-            recorder.stream(), recorder.boundary(), sets, ways);
-        const double ki =
-            static_cast<double>(base.instructions) / 1000.0;
-        const double opt_mpki =
-            static_cast<double>(opt_misses) / (ki > 0 ? ki : 1);
-
-        table.addRow(
-            {profile.name, formatDouble(base.l2InstMpki, 2),
-             formatDouble(emi.l2InstMpki, 2),
-             formatDouble(opt_mpki, 2),
-             opt_mpki > 0.01
-                 ? formatDouble(base.l2InstMpki / opt_mpki, 2)
-                 : std::string("-"),
-             formatDouble(core::speedupPercent(base, emi), 2)});
-        std::fflush(stdout);
-    }
+    for (const auto &row : rows)
+        table.addRow(row);
     std::printf("%s\n", table.render().c_str());
     std::printf(
         "context: OPT is the unrealizable miss-count floor on the\n"

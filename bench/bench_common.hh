@@ -16,8 +16,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hh"
+#include "core/grid.hh"
+#include "core/threadpool.hh"
 #include "stats/table.hh"
 #include "util/strutil.hh"
 
@@ -44,11 +47,51 @@ banner(const char *experiment, const char *paper_ref,
     std::printf("=== EMISSARY reproduction: %s ===\n", experiment);
     std::printf("paper reference: %s\n", paper_ref);
     std::printf("machine: Alderlake-like (Table 4); window: %llu warm"
-                " + %llu measured instructions\n\n",
+                " + %llu measured instructions; jobs: %u\n\n",
                 static_cast<unsigned long long>(
                     options.warmupInstructions),
                 static_cast<unsigned long long>(
-                    options.measureInstructions));
+                    options.measureInstructions),
+                core::ThreadPool::defaultWorkerCount());
+}
+
+/**
+ * Progress reporter for runGrid: prints "[name done]" once every run
+ * of a workload has completed. runGrid serializes callback
+ * invocations, so the plain counters need no locking.
+ */
+class WorkloadProgress
+{
+  public:
+    explicit WorkloadProgress(const core::PolicyGrid &grid)
+        : names_(grid.workloads.size()),
+          remaining_(grid.workloads.size(), grid.runs.size())
+    {
+        for (std::size_t w = 0; w < grid.workloads.size(); ++w)
+            names_[w] = grid.workloads[w].name;
+    }
+
+    void
+    operator()(std::size_t w, std::size_t)
+    {
+        if (--remaining_[w] == 0) {
+            std::printf("[%s done]\n", names_[w].c_str());
+            std::fflush(stdout);
+        }
+    }
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<std::size_t> remaining_;
+};
+
+/** Print the sweep's wall-clock accounting (tracked in results/). */
+inline void
+reportSweepTiming(const core::GridResults &results,
+                  const std::vector<trace::WorkloadProfile> &workloads)
+{
+    std::printf("sweep wall-clock:\n%s\n",
+                results.timingTable(workloads).render().c_str());
 }
 
 } // namespace emissary::bench

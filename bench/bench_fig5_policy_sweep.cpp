@@ -29,8 +29,9 @@ main()
         full ? std::vector<unsigned>{2, 4, 6, 8, 10, 12, 14}
              : std::vector<unsigned>{2, 6, 10, 14};
 
-    std::vector<std::string> policies = {"M:0", "M:R(1/32)", "M:S&E",
-                                         "M:S&E&R(1/32)"};
+    // Policy 0 is the TPLRU baseline every other column compares to.
+    std::vector<std::string> policies = {"TPLRU", "M:0", "M:R(1/32)",
+                                         "M:S&E", "M:S&E&R(1/32)"};
     for (const unsigned n : protect_ns) {
         policies.push_back("P(" + std::to_string(n) + "):S&E");
         policies.push_back("P(" + std::to_string(n) +
@@ -40,21 +41,29 @@ main()
                                "):R(1/32)");
     }
 
+    std::vector<trace::WorkloadProfile> workloads;
     for (const auto &profile : core::selectedBenchmarks()) {
         if (profile.name == "tpcc")
             continue;  // Omitted in the paper's Fig. 5.
-        const trace::SyntheticProgram program(profile);
-        const core::Metrics base =
-            core::runPolicy(program, "TPLRU", options);
+        workloads.push_back(profile);
+    }
+
+    const core::PolicyGrid grid =
+        core::PolicyGrid::sweep(workloads, policies, options);
+    core::ThreadPool pool;
+    const core::GridResults results =
+        core::runGrid(grid, pool, bench::WorkloadProgress(grid));
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const core::Metrics &base = results.at(w, 0);
 
         stats::Table table({"policy", "speedup%", "L2I MPKI",
                             "dStarv(S&E)%", "L2D MPKI"});
         table.addRow({"TPLRU (N=0 baseline)", "0.00",
                       formatDouble(base.l2InstMpki, 2), "0.0",
                       formatDouble(base.l2DataMpki, 2)});
-        for (const auto &policy : policies) {
-            const core::Metrics m =
-                core::runPolicy(program, policy, options);
+        for (std::size_t p = 1; p < policies.size(); ++p) {
+            const core::Metrics &m = results.at(w, p);
             const double dstarv =
                 base.starvationIqEmptyCycles > 0
                     ? 100.0 *
@@ -66,16 +75,18 @@ main()
                               base.starvationIqEmptyCycles)
                     : 0.0;
             table.addRow(
-                {policy,
+                {policies[p],
                  formatDouble(core::speedupPercent(base, m), 2),
                  formatDouble(m.l2InstMpki, 2),
                  formatDouble(dstarv, 1),
                  formatDouble(m.l2DataMpki, 2)});
         }
-        std::printf("--- %s ---\n%s\n", profile.name.c_str(),
+        std::printf("--- %s ---\n%s\n",
+                    workloads[w].name.c_str(),
                     table.render().c_str());
         std::fflush(stdout);
     }
+    bench::reportSweepTiming(results, workloads);
     std::printf(
         "paper shape: for benchmarks with L2I MPKI > 1, speedup rises\n"
         "and starvation falls as N grows to ~8 (half the ways), then\n"

@@ -38,26 +38,32 @@ main()
     std::map<std::string, std::vector<double>> speedups;
     std::map<std::string, std::vector<double>> energies;
 
-    for (const auto &profile : core::selectedBenchmarks()) {
-        const trace::SyntheticProgram program(profile);
-        const core::Metrics base =
-            core::runPolicy(program, "TPLRU", options);
-        std::vector<std::string> srow = {profile.name};
-        std::vector<std::string> erow = {profile.name};
-        for (const auto &policy : policies) {
-            const core::Metrics m =
-                core::runPolicy(program, policy, options);
+    // Column 0 is the baseline every speedup compares to.
+    std::vector<std::string> grid_policies = {"TPLRU"};
+    grid_policies.insert(grid_policies.end(), policies.begin(),
+                         policies.end());
+    const auto workloads = core::selectedBenchmarks();
+    const core::PolicyGrid grid =
+        core::PolicyGrid::sweep(workloads, grid_policies, options);
+    core::ThreadPool pool;
+    const core::GridResults results =
+        core::runGrid(grid, pool, bench::WorkloadProgress(grid));
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const core::Metrics &base = results.at(w, 0);
+        std::vector<std::string> srow = {workloads[w].name};
+        std::vector<std::string> erow = {workloads[w].name};
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const core::Metrics &m = results.at(w, p + 1);
             const double s = core::speedupPercent(base, m);
             const double e = core::energyReductionPercent(base, m);
-            speedups[policy].push_back(s);
-            energies[policy].push_back(e);
+            speedups[policies[p]].push_back(s);
+            energies[policies[p]].push_back(e);
             srow.push_back(formatDouble(s, 2));
             erow.push_back(formatDouble(e, 2));
         }
         speed_table.addRow(srow);
         energy_table.addRow(erow);
-        std::printf("[%s done]\n", profile.name.c_str());
-        std::fflush(stdout);
     }
 
     std::vector<std::string> sgeo = {"geomean"};
@@ -74,6 +80,7 @@ main()
                 speed_table.render().c_str());
     std::printf("Energy reduction (%%) vs TPLRU + FDIP baseline:\n%s\n",
                 energy_table.render().c_str());
+    bench::reportSweepTiming(results, workloads);
     std::printf(
         "paper shape: EMISSARY P(8) variants lead; M:0 and the\n"
         "insertion-only M: policies trail or lose; the comparators\n"

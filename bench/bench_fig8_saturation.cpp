@@ -28,13 +28,19 @@ main()
     std::vector<std::vector<double>> dist(
         policies.size(), std::vector<double>(17, 0.0));
     std::vector<double> saturated(policies.size(), 0.0);
-    unsigned n_benchmarks = 0;
 
-    for (const auto &profile : core::selectedBenchmarks()) {
-        const trace::SyntheticProgram program(profile);
+    const auto workloads = core::selectedBenchmarks();
+    const core::PolicyGrid grid =
+        core::PolicyGrid::sweep(workloads, policies, options);
+    core::ThreadPool pool;
+    const core::GridResults results =
+        core::runGrid(grid, pool, bench::WorkloadProgress(grid));
+
+    const unsigned n_benchmarks =
+        static_cast<unsigned>(workloads.size());
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         for (std::size_t p = 0; p < policies.size(); ++p) {
-            const core::Metrics m =
-                core::runPolicy(program, policies[p], options);
+            const core::Metrics &m = results.at(w, p);
             for (std::size_t i = 0;
                  i < m.priorityDistribution.size() && i < 17; ++i)
                 dist[p][i] += m.priorityDistribution[i];
@@ -42,9 +48,6 @@ main()
                  i < m.priorityDistribution.size(); ++i)
                 saturated[p] += m.priorityDistribution[i];
         }
-        ++n_benchmarks;
-        std::printf("[%s done]\n", profile.name.c_str());
-        std::fflush(stdout);
     }
 
     for (unsigned count = 0; count <= 8; ++count) {
@@ -61,6 +64,7 @@ main()
         std::printf("%-18s saturated (>=8) sets: %5.1f%%\n",
                     policies[p].c_str(),
                     100.0 * saturated[p] / n_benchmarks);
+    bench::reportSweepTiming(results, workloads);
     std::printf(
         "\npaper shape: plain P(8):S&E saturates most sets on the\n"
         "code-heavy benchmarks, while the random filter keeps\n"

@@ -44,34 +44,35 @@ main()
         columns.push_back("S&E&R(" + r + ")");
     const std::vector<unsigned> protect_ns = {2, 4, 6, 8, 10, 12, 14};
 
-    // Collect per-benchmark baselines once.
+    // One grid over the whole r x N parameter space: column 0 is the
+    // shared TPLRU baseline, then every P(N):<selection> combination
+    // in (N-major, column-minor) order.
     const auto benchmarks = core::selectedBenchmarks();
-    std::vector<trace::SyntheticProgram> programs;
-    std::vector<core::Metrics> baselines;
-    programs.reserve(benchmarks.size());
-    for (const auto &profile : benchmarks) {
-        programs.emplace_back(profile);
-        baselines.push_back(
-            core::runPolicy(programs.back(), "TPLRU", options));
-    }
+    std::vector<std::string> policies = {"TPLRU"};
+    for (const unsigned n : protect_ns)
+        for (const auto &column : columns)
+            policies.push_back("P(" + std::to_string(n) +
+                               "):" + column);
+
+    const core::PolicyGrid policy_grid =
+        core::PolicyGrid::sweep(benchmarks, policies, options);
+    core::ThreadPool pool;
+    const core::GridResults results = core::runGrid(
+        policy_grid, pool, bench::WorkloadProgress(policy_grid));
 
     std::map<std::pair<unsigned, std::string>, double> grid;
+    std::size_t policy_index = 1;
     for (const unsigned n : protect_ns) {
         for (const auto &column : columns) {
-            const std::string policy =
-                "P(" + std::to_string(n) + "):" + column;
             std::vector<double> speedups;
-            for (std::size_t b = 0; b < benchmarks.size(); ++b) {
-                const core::Metrics m =
-                    core::runPolicy(programs[b], policy, options);
-                speedups.push_back(
-                    core::speedupPercent(baselines[b], m));
-            }
+            for (std::size_t b = 0; b < benchmarks.size(); ++b)
+                speedups.push_back(core::speedupPercent(
+                    results.at(b, 0),
+                    results.at(b, policy_index)));
             grid[{n, column}] =
                 core::geomeanSpeedupPercent(speedups);
+            ++policy_index;
         }
-        std::printf("[N=%u done]\n", n);
-        std::fflush(stdout);
     }
 
     // Render with the paper's #Best accounting.
@@ -108,6 +109,7 @@ main()
     table.addRow(best_row);
 
     std::printf("\n%s\n", table.render().c_str());
+    bench::reportSweepTiming(results, benchmarks);
     std::printf(
         "paper shape: speedups peak near N = 6-8 for most columns and\n"
         "collapse at N = 12-14 for unfiltered columns; the best r sits\n"

@@ -1,5 +1,6 @@
 #include "core/experiment.hh"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
@@ -15,9 +16,23 @@ Metrics
 runPolicy(const trace::SyntheticProgram &program,
           const std::string &l2_policy, const RunOptions &options)
 {
+    return runPolicy(program,
+                     replacement::PolicySpec::parse(l2_policy),
+                     replacement::PolicySpec::parse(options.l1iPolicy),
+                     options);
+}
+
+Metrics
+runPolicy(const trace::SyntheticProgram &program,
+          const replacement::PolicySpec &l2_spec,
+          const replacement::PolicySpec &l1i_spec,
+          const RunOptions &options)
+{
     MachineOptions machine_options;
-    machine_options.l2Policy = l2_policy;
-    machine_options.l1iPolicy = options.l1iPolicy;
+    machine_options.l2Spec = l2_spec;
+    machine_options.l1iSpec = l1i_spec;
+    machine_options.l2Policy = l2_spec.toString();
+    machine_options.l1iPolicy = l1i_spec.toString();
     machine_options.emissaryTreePlru = options.emissaryTreePlru;
     machine_options.bypassLowPriorityInst =
         options.bypassLowPriorityInst;
@@ -74,7 +89,21 @@ envU64(const char *name, std::uint64_t fallback)
     const char *value = std::getenv(name);
     if (!value || *value == '\0')
         return fallback;
-    return std::strtoull(value, nullptr, 10);
+    const std::string text = trim(value);
+    const bool all_digits =
+        !text.empty() &&
+        text.find_first_not_of("0123456789") == std::string::npos;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed =
+        all_digits ? std::strtoull(text.c_str(), &end, 10) : 0;
+    if (!all_digits || end != text.c_str() + text.size() ||
+        errno == ERANGE)
+        throw std::invalid_argument(
+            std::string(name) +
+            ": expected an unsigned decimal integer, got '" + value +
+            "'");
+    return parsed;
 }
 
 std::vector<trace::WorkloadProfile>

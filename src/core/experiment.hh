@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/metrics.hh"
+#include "replacement/spec.hh"
 #include "trace/profile.hh"
 #include "trace/program.hh"
 
@@ -51,6 +52,16 @@ Metrics runPolicy(const trace::SyntheticProgram &program,
                   const std::string &l2_policy,
                   const RunOptions &options);
 
+/**
+ * Pre-parsed variant: the grid engine parses each policy string once
+ * per sweep and reuses the specs for every workload, keeping
+ * PolicySpec::parse out of the per-run path.
+ */
+Metrics runPolicy(const trace::SyntheticProgram &program,
+                  const replacement::PolicySpec &l2_spec,
+                  const replacement::PolicySpec &l1i_spec,
+                  const RunOptions &options);
+
 /** Speedup of @p test over @p base in percent (paper convention). */
 double speedupPercent(const Metrics &base, const Metrics &test);
 
@@ -63,6 +74,8 @@ double geomeanSpeedupPercent(const std::vector<double> &percents);
 /**
  * Read an unsigned environment override, e.g.
  * EMISSARY_BENCH_INSTRUCTIONS, falling back to @p fallback.
+ * @throws std::invalid_argument naming the variable when the value is
+ *         set but is not a plain decimal unsigned integer.
  */
 std::uint64_t envU64(const char *name, std::uint64_t fallback);
 

@@ -1,0 +1,198 @@
+#include "core/grid.hh"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "trace/program.hh"
+#include "util/strutil.hh"
+
+namespace emissary::core
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+PolicyGrid
+PolicyGrid::sweep(std::vector<trace::WorkloadProfile> workloads,
+                  const std::vector<std::string> &policies,
+                  const RunOptions &options)
+{
+    PolicyGrid grid;
+    grid.workloads = std::move(workloads);
+    grid.runs.reserve(policies.size());
+    for (const std::string &policy : policies)
+        grid.runs.emplace_back(policy, options);
+    return grid;
+}
+
+double
+GridTiming::serialSeconds() const
+{
+    double sum = 0.0;
+    for (const auto &row : runSeconds)
+        for (const double s : row)
+            sum += s;
+    return sum;
+}
+
+double
+GridTiming::runsPerSecond() const
+{
+    return totalSeconds > 0.0
+               ? static_cast<double>(runCount()) / totalSeconds
+               : 0.0;
+}
+
+std::size_t
+GridTiming::runCount() const
+{
+    std::size_t count = 0;
+    for (const auto &row : runSeconds)
+        count += row.size();
+    return count;
+}
+
+GridResults::GridResults(std::size_t workloads, std::size_t runs)
+    : cells_(workloads, std::vector<Metrics>(runs))
+{
+    timing_.runSeconds.assign(workloads,
+                              std::vector<double>(runs, 0.0));
+}
+
+stats::Table
+GridResults::timingTable(
+    const std::vector<trace::WorkloadProfile> &workloads) const
+{
+    stats::Table table({"workload", "runs", "seconds"});
+    for (std::size_t w = 0; w < timing_.runSeconds.size(); ++w) {
+        double row_seconds = 0.0;
+        for (const double s : timing_.runSeconds[w])
+            row_seconds += s;
+        table.addRow({w < workloads.size() ? workloads[w].name
+                                           : std::to_string(w),
+                      std::to_string(timing_.runSeconds[w].size()),
+                      formatDouble(row_seconds, 2)});
+    }
+    table.addRow({"all (serial cell sum)",
+                  std::to_string(timing_.runCount()),
+                  formatDouble(timing_.serialSeconds(), 2)});
+    table.addRow({"all (wall clock)",
+                  std::to_string(timing_.runCount()),
+                  formatDouble(timing_.totalSeconds, 2)});
+    table.addRow({"throughput (runs/sec)", "-",
+                  formatDouble(timing_.runsPerSecond(), 2)});
+    table.addRow({"parallel speedup", "-",
+                  formatDouble(timing_.totalSeconds > 0.0
+                                   ? timing_.serialSeconds() /
+                                         timing_.totalSeconds
+                                   : 0.0,
+                               2)});
+    return table;
+}
+
+GridResults
+runGrid(const PolicyGrid &grid, ThreadPool &pool,
+        const std::function<void(std::size_t w, std::size_t r)>
+            &progress)
+{
+    if (grid.workloads.empty() || grid.runs.empty())
+        throw std::invalid_argument("runGrid: empty grid");
+
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    // Parse every policy once per grid; the specs are shared
+    // read-only by all workers.
+    std::vector<replacement::PolicySpec> l2_specs;
+    std::vector<replacement::PolicySpec> l1i_specs;
+    l2_specs.reserve(grid.runs.size());
+    l1i_specs.reserve(grid.runs.size());
+    for (const RunSpec &run : grid.runs) {
+        l2_specs.push_back(
+            replacement::PolicySpec::parse(run.l2Policy));
+        l1i_specs.push_back(
+            replacement::PolicySpec::parse(run.options.l1iPolicy));
+    }
+
+    // One immutable program per workload, generated in parallel and
+    // then shared by every policy run of that workload.
+    std::vector<std::unique_ptr<trace::SyntheticProgram>> programs(
+        grid.workloads.size());
+    {
+        std::vector<std::future<void>> built;
+        built.reserve(grid.workloads.size());
+        for (std::size_t w = 0; w < grid.workloads.size(); ++w)
+            built.push_back(pool.submit([&grid, &programs, w]() {
+                programs[w] =
+                    std::make_unique<trace::SyntheticProgram>(
+                        grid.workloads[w]);
+            }));
+        for (auto &future : built)
+            future.get();
+    }
+
+    GridResults results(grid.workloads.size(), grid.runs.size());
+    std::mutex progress_mutex;
+
+    std::vector<std::future<void>> cells;
+    cells.reserve(grid.cellCount());
+    for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+        for (std::size_t r = 0; r < grid.runs.size(); ++r) {
+            cells.push_back(pool.submit([&, w, r]() {
+                const auto cell_start =
+                    std::chrono::steady_clock::now();
+                // Each cell owns its executor, simulator and seeded
+                // RNGs; it writes only its own result slot, so no
+                // locking — and completion order cannot reorder or
+                // perturb the results.
+                results.cells_[w][r] =
+                    runPolicy(*programs[w], l2_specs[r],
+                              l1i_specs[r], grid.runs[r].options);
+                results.timing_.runSeconds[w][r] =
+                    secondsSince(cell_start);
+                if (progress) {
+                    std::lock_guard<std::mutex> lock(progress_mutex);
+                    progress(w, r);
+                }
+            }));
+        }
+    }
+
+    // Wait for every cell; report the first failure only after the
+    // stragglers finish (their slots reference local state).
+    std::exception_ptr first_error;
+    for (auto &future : cells) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+
+    results.timing_.totalSeconds = secondsSince(wall_start);
+    return results;
+}
+
+GridResults
+runGrid(const PolicyGrid &grid)
+{
+    ThreadPool pool;
+    return runGrid(grid, pool);
+}
+
+} // namespace emissary::core

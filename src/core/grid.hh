@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Parallel experiment engine: run a (workload x policy) grid of
+ * independent simulations across a ThreadPool.
+ *
+ * Every figure and table of the paper is such a grid — 13 workloads
+ * against up to a dozen P(N) variants — and the runs share nothing
+ * but the immutable SyntheticProgram of their workload, so the engine
+ * fans all cells out across workers and collects Metrics into slots
+ * indexed by grid position. Each run builds its own executor,
+ * simulator and seeded RNGs, which makes the parallel output
+ * bit-identical to a serial sweep: runGrid with EMISSARY_JOBS=1 and
+ * EMISSARY_JOBS=N produce the same Metrics for the same grid.
+ *
+ * Policy strings are parsed once per grid (not once per run) and the
+ * parsed specs shared read-only by every workload's cell.
+ */
+
+#ifndef EMISSARY_CORE_GRID_HH
+#define EMISSARY_CORE_GRID_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/metrics.hh"
+#include "core/threadpool.hh"
+#include "stats/table.hh"
+#include "trace/profile.hh"
+
+namespace emissary::core
+{
+
+/** One column of a sweep: an L2 policy plus the run knobs. */
+struct RunSpec
+{
+    /** Display label; defaults to the policy notation. */
+    std::string label;
+    /** L2 policy in paper notation, e.g. "P(8):S&E&R(1/32)". */
+    std::string l2Policy = "TPLRU";
+    /** Window sizing and machine knobs for this column. */
+    RunOptions options;
+
+    RunSpec() = default;
+    RunSpec(std::string policy, const RunOptions &run_options)
+        : label(policy), l2Policy(std::move(policy)),
+          options(run_options)
+    {
+    }
+    RunSpec(std::string display_label, std::string policy,
+            const RunOptions &run_options)
+        : label(std::move(display_label)),
+          l2Policy(std::move(policy)), options(run_options)
+    {
+    }
+};
+
+/** A full sweep: every workload is run under every RunSpec. */
+struct PolicyGrid
+{
+    std::vector<trace::WorkloadProfile> workloads;
+    std::vector<RunSpec> runs;
+
+    /** Uniform grid: the same options for every policy string. */
+    static PolicyGrid
+    sweep(std::vector<trace::WorkloadProfile> workloads,
+          const std::vector<std::string> &policies,
+          const RunOptions &options);
+
+    std::size_t cellCount() const
+    {
+        return workloads.size() * runs.size();
+    }
+};
+
+/** Wall-clock accounting for one runGrid call. */
+struct GridTiming
+{
+    /** End-to-end wall seconds for the whole grid. */
+    double totalSeconds = 0.0;
+    /** Per-cell wall seconds, [workload][run]. */
+    std::vector<std::vector<double>> runSeconds;
+
+    /** Sum of all per-cell times: what a serial sweep would cost. */
+    double serialSeconds() const;
+    /** Completed cells per wall-clock second. */
+    double runsPerSecond() const;
+    std::size_t runCount() const;
+};
+
+/** Deterministically ordered results of one grid sweep. */
+class GridResults
+{
+  public:
+    GridResults(std::size_t workloads, std::size_t runs);
+
+    /** Metrics of workload @p w under run spec @p r. */
+    const Metrics &
+    at(std::size_t w, std::size_t r) const
+    {
+        return cells_[w][r];
+    }
+
+    std::size_t workloadCount() const { return cells_.size(); }
+    std::size_t
+    runCount() const
+    {
+        return cells_.empty() ? 0 : cells_.front().size();
+    }
+
+    const GridTiming &timing() const { return timing_; }
+
+    /**
+     * Timing rendered through the stats table formatter: one row per
+     * workload (summed across its runs) plus a total row with
+     * achieved runs/sec and the parallel speedup over the serial
+     * cell-time sum.
+     */
+    stats::Table timingTable(
+        const std::vector<trace::WorkloadProfile> &workloads) const;
+
+  private:
+    friend GridResults runGrid(
+        const PolicyGrid &, ThreadPool &,
+        const std::function<void(std::size_t, std::size_t)> &);
+
+    std::vector<std::vector<Metrics>> cells_;
+    GridTiming timing_;
+};
+
+/**
+ * Run every cell of @p grid on @p pool.
+ *
+ * @param progress Optional callback fired after each cell completes;
+ *        invocations are serialized by the engine, so the callback
+ *        may print or mutate shared progress state without its own
+ *        locking. Indices are grid positions, not completion order.
+ *
+ * Exceptions thrown by a cell (bad policy notation, simulator budget
+ * overrun) are rethrown here after the remaining cells finish.
+ */
+GridResults runGrid(
+    const PolicyGrid &grid, ThreadPool &pool,
+    const std::function<void(std::size_t w, std::size_t r)>
+        &progress = {});
+
+/** Convenience overload: a private pool of defaultWorkerCount(). */
+GridResults runGrid(const PolicyGrid &grid);
+
+} // namespace emissary::core
+
+#endif // EMISSARY_CORE_GRID_HH

@@ -1,0 +1,107 @@
+#include "core/threadpool.hh"
+
+#include <algorithm>
+
+#include "core/experiment.hh"
+
+namespace emissary::core
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    const unsigned count =
+        workers > 0 ? workers : defaultWorkerCount();
+    queues_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        workers_.emplace_back([this, i]() { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        stopping_.store(true);
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+unsigned
+ThreadPool::defaultWorkerCount()
+{
+    const unsigned hardware =
+        std::max(1u, std::thread::hardware_concurrency());
+    const std::uint64_t jobs = envU64("EMISSARY_JOBS", hardware);
+    return static_cast<unsigned>(
+        std::clamp<std::uint64_t>(jobs, 1, 4096));
+}
+
+void
+ThreadPool::post(std::function<void()> job)
+{
+    const unsigned target =
+        nextQueue_.fetch_add(1) % queues_.size();
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        queues_[target]->jobs.push_back(std::move(job));
+    }
+    {
+        // Hold the sleep mutex so the increment cannot slip between a
+        // worker's predicate check and its wait.
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        queued_.fetch_add(1);
+    }
+    wake_.notify_one();
+}
+
+bool
+ThreadPool::runOne(unsigned self)
+{
+    std::function<void()> job;
+    {
+        // Own work first, newest job first (better locality)...
+        Queue &own = *queues_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.jobs.empty()) {
+            job = std::move(own.jobs.back());
+            own.jobs.pop_back();
+        }
+    }
+    if (!job) {
+        // ...then steal the oldest job from the next busy victim.
+        for (std::size_t i = 1; !job && i < queues_.size(); ++i) {
+            Queue &victim = *queues_[(self + i) % queues_.size()];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.jobs.empty()) {
+                job = std::move(victim.jobs.front());
+                victim.jobs.pop_front();
+            }
+        }
+    }
+    if (!job)
+        return false;
+    queued_.fetch_sub(1);
+    job();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    while (true) {
+        if (runOne(self))
+            continue;
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        wake_.wait(lock, [this]() {
+            return stopping_.load() || queued_.load() > 0;
+        });
+        if (stopping_.load() && queued_.load() == 0)
+            return;
+    }
+}
+
+} // namespace emissary::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Work-stealing thread pool for the parallel experiment engine.
+ *
+ * Every cell of a (benchmark x policy) sweep is an independent
+ * multi-second simulation, so the pool optimises for simplicity and
+ * drain semantics rather than sub-microsecond dispatch: each worker
+ * owns a deque (own work popped LIFO from the back, steals taken FIFO
+ * from the front of a victim), submissions return std::future so
+ * exceptions thrown inside a job surface at the caller's get(), and
+ * the destructor drains every queued job before joining.
+ *
+ * Sizing: std::thread::hardware_concurrency() by default, overridden
+ * by the EMISSARY_JOBS environment variable.
+ */
+
+#ifndef EMISSARY_CORE_THREADPOOL_HH
+#define EMISSARY_CORE_THREADPOOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace emissary::core
+{
+
+/** A fixed-size pool of workers with per-worker stealing deques. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers Worker thread count; 0 picks
+     *        defaultWorkerCount().
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Drains every queued job, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Queue @p fn for execution. The returned future yields the
+     * job's result, or rethrows whatever the job threw.
+     */
+    template <typename F>
+    std::future<std::invoke_result_t<std::decay_t<F>>>
+    submit(F &&fn)
+    {
+        using Result = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        post([task]() { (*task)(); });
+        return future;
+    }
+
+    unsigned
+    workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** EMISSARY_JOBS if set (strictly parsed), else
+     *  hardware_concurrency(), never less than 1. */
+    static unsigned defaultWorkerCount();
+
+  private:
+    /** One worker's deque; stealing locks the victim's mutex. */
+    struct Queue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> jobs;
+    };
+
+    void post(std::function<void()> job);
+    bool runOne(unsigned self);
+    void workerLoop(unsigned self);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+    std::mutex sleepMutex_;
+    std::condition_variable wake_;
+    std::atomic<std::size_t> queued_{0};
+    std::atomic<bool> stopping_{false};
+    std::atomic<unsigned> nextQueue_{0};
+};
+
+} // namespace emissary::core
+
+#endif // EMISSARY_CORE_THREADPOOL_HH

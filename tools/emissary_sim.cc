@@ -12,6 +12,11 @@
  *   emissary_sim --benchmark kafka --record kafka.trc
  *   emissary_sim --trace kafka.trc --policy "P(8):S&E"
  *   emissary_sim --benchmark tomcat --no-fdip --policy TPLRU
+ *
+ * Sweeps fan out over the parallel experiment engine:
+ *   emissary_sim --benchmarks tomcat,kafka \
+ *                --policies "TPLRU,P(8):S&E,P(8):S&E&R(1/32)" \
+ *                --jobs 8
  */
 
 #include <cstdio>
@@ -19,9 +24,13 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hh"
+#include "core/grid.hh"
 #include "core/simulator.hh"
+#include "core/threadpool.hh"
+#include "stats/table.hh"
 #include "trace/executor.hh"
 #include "trace/file.hh"
 #include "util/strutil.hh"
@@ -42,6 +51,11 @@ usage(const char *argv0)
         "  --record FILE        record the trace while simulating\n"
         "  --policy SPEC        L2 policy, paper notation "
         "(default TPLRU)\n"
+        "  --benchmarks A,B,C   sweep: run every listed benchmark\n"
+        "  --policies P,Q,R     sweep: run every listed policy; the\n"
+        "                       first is the speedup baseline\n"
+        "  --jobs N             sweep worker threads (default:\n"
+        "                       EMISSARY_JOBS or all cores)\n"
         "  --l1i-policy SPEC    L1I policy (ablation; default "
         "TPLRU)\n"
         "  --instructions N     measured window (default 1500000)\n"
@@ -57,6 +71,61 @@ usage(const char *argv0)
         argv0);
 }
 
+void
+printMetrics(const core::Metrics &m, bool csv)
+{
+    if (csv) {
+        std::printf(
+            "benchmark,policy,instructions,cycles,ipc,l1iMpki,"
+            "l1dMpki,l2iMpki,l2dMpki,starv,starvIqEmpty,"
+            "feStalls,beStalls,energyJ\n");
+        std::printf(
+            "%s,%s,%llu,%llu,%.4f,%.3f,%.3f,%.3f,%.3f,%llu,"
+            "%llu,%llu,%llu,%.6e\n",
+            m.benchmark.c_str(), m.policy.c_str(),
+            static_cast<unsigned long long>(m.instructions),
+            static_cast<unsigned long long>(m.cycles), m.ipc,
+            m.l1iMpki, m.l1dMpki, m.l2InstMpki, m.l2DataMpki,
+            static_cast<unsigned long long>(m.starvationCycles),
+            static_cast<unsigned long long>(
+                m.starvationIqEmptyCycles),
+            static_cast<unsigned long long>(m.feStallCycles),
+            static_cast<unsigned long long>(m.beStallCycles),
+            m.energy.total());
+        return;
+    }
+
+    std::printf("benchmark:          %s\n", m.benchmark.c_str());
+    std::printf("L2 policy:          %s\n", m.policy.c_str());
+    std::printf("instructions:       %llu\n",
+                static_cast<unsigned long long>(m.instructions));
+    std::printf("cycles:             %llu\n",
+                static_cast<unsigned long long>(m.cycles));
+    std::printf("IPC:                %.3f\n", m.ipc);
+    std::printf("L1I / L1D MPKI:     %.2f / %.2f\n", m.l1iMpki,
+                m.l1dMpki);
+    std::printf("L2I / L2D MPKI:     %.2f / %.2f\n", m.l2InstMpki,
+                m.l2DataMpki);
+    std::printf("starvation cycles:  %llu (%.1f%% of cycles; "
+                "%llu with empty IQ)\n",
+                static_cast<unsigned long long>(m.starvationCycles),
+                m.cycles ? 100.0 *
+                               static_cast<double>(
+                                   m.starvationCycles) /
+                               static_cast<double>(m.cycles)
+                         : 0.0,
+                static_cast<unsigned long long>(
+                    m.starvationIqEmptyCycles));
+    std::printf("FE / BE stalls:     %llu / %llu\n",
+                static_cast<unsigned long long>(m.feStallCycles),
+                static_cast<unsigned long long>(m.beStallCycles));
+    std::printf("energy:             %.3f mJ\n",
+                m.energy.total() * 1e3);
+    std::printf("high-priority fills / upgrades: %llu / %llu\n",
+                static_cast<unsigned long long>(m.highPriorityFills),
+                static_cast<unsigned long long>(m.priorityUpgrades));
+}
+
 } // namespace
 
 int
@@ -65,10 +134,13 @@ main(int argc, char **argv)
     std::string benchmark = "tomcat";
     std::string trace_path;
     std::string record_path;
+    std::string benchmarks_csv;
+    std::string policies_csv;
     core::MachineOptions machine_options;
     std::uint64_t instructions = 1'500'000;
     std::uint64_t warmup = 0;
     std::uint64_t reset = 0;
+    std::uint64_t jobs = 0;
     bool csv = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -93,6 +165,12 @@ main(int argc, char **argv)
             record_path = value();
         } else if (arg == "--policy") {
             machine_options.l2Policy = value();
+        } else if (arg == "--benchmarks") {
+            benchmarks_csv = value();
+        } else if (arg == "--policies") {
+            policies_csv = value();
+        } else if (arg == "--jobs") {
+            jobs = std::strtoull(value(), nullptr, 10);
         } else if (arg == "--l1i-policy") {
             machine_options.l1iPolicy = value();
         } else if (arg == "--instructions") {
@@ -127,7 +205,103 @@ main(int argc, char **argv)
     }
 
     try {
-        // Build the trace source stack.
+        // Everything the grid engine needs for one cell.
+        core::RunOptions run_options;
+        run_options.measureInstructions = instructions;
+        run_options.warmupInstructions =
+            warmup > 0 ? warmup : instructions / 4;
+        run_options.l1iPolicy = machine_options.l1iPolicy;
+        run_options.fdip = machine_options.fdip;
+        run_options.nextLinePrefetch =
+            machine_options.nextLinePrefetch;
+        run_options.idealL2Inst = machine_options.idealL2Inst;
+        run_options.emissaryTreePlru =
+            machine_options.emissaryTreePlru;
+        run_options.bypassLowPriorityInst =
+            machine_options.bypassLowPriorityInst;
+        run_options.priorityResetInstructions = reset;
+        run_options.seed = machine_options.seed;
+
+        // Sweep mode: fan (benchmark x policy) out over the engine.
+        if (!benchmarks_csv.empty() || !policies_csv.empty()) {
+            if (!trace_path.empty() || !record_path.empty()) {
+                std::fprintf(stderr, "--benchmarks/--policies cannot "
+                                     "be combined with --trace/"
+                                     "--record\n");
+                return 2;
+            }
+            std::vector<trace::WorkloadProfile> workloads;
+            for (const std::string &raw :
+                 split(benchmarks_csv.empty() ? benchmark
+                                              : benchmarks_csv,
+                       ',')) {
+                const std::string name = trim(raw);
+                if (!name.empty())
+                    workloads.push_back(trace::profileByName(name));
+            }
+            std::vector<std::string> policies;
+            for (const std::string &raw :
+                 split(policies_csv.empty()
+                           ? machine_options.l2Policy
+                           : policies_csv,
+                       ',')) {
+                const std::string spec = trim(raw);
+                if (!spec.empty())
+                    policies.push_back(spec);
+            }
+
+            const core::PolicyGrid grid = core::PolicyGrid::sweep(
+                workloads, policies, run_options);
+            core::ThreadPool pool(static_cast<unsigned>(jobs));
+            const core::GridResults results =
+                core::runGrid(grid, pool);
+
+            stats::Table table({"benchmark", "policy", "IPC",
+                                "L2I MPKI", "L2D MPKI",
+                                "starv (IQ-empty)", "speedup%"});
+            for (std::size_t w = 0; w < workloads.size(); ++w) {
+                const core::Metrics &base = results.at(w, 0);
+                for (std::size_t p = 0; p < policies.size(); ++p) {
+                    const core::Metrics &m = results.at(w, p);
+                    table.addRow(
+                        {workloads[w].name, policies[p],
+                         formatDouble(m.ipc, 3),
+                         formatDouble(m.l2InstMpki, 2),
+                         formatDouble(m.l2DataMpki, 2),
+                         std::to_string(m.starvationIqEmptyCycles),
+                         formatDouble(
+                             core::speedupPercent(base, m), 2)});
+                }
+            }
+            if (csv) {
+                std::printf("%s", table.renderCsv().c_str());
+            } else {
+                std::printf("%s\n", table.render().c_str());
+                std::printf(
+                    "sweep wall-clock (%u workers):\n%s\n",
+                    pool.workerCount(),
+                    results.timingTable(workloads)
+                        .render()
+                        .c_str());
+            }
+            return 0;
+        }
+
+        // Single synthetic run with no recording: a 1 x 1 grid.
+        if (trace_path.empty() && record_path.empty()) {
+            core::PolicyGrid grid;
+            grid.workloads = {trace::profileByName(benchmark)};
+            grid.runs.emplace_back(machine_options.l2Policy,
+                                   run_options);
+            core::ThreadPool pool(1);
+            const core::GridResults results =
+                core::runGrid(grid, pool);
+            printMetrics(results.at(0, 0), csv);
+            return 0;
+        }
+
+        // Trace replay / recording keeps the direct simulator path:
+        // file sources are stateful and cannot be grid cells.
         std::unique_ptr<trace::SyntheticProgram> program;
         std::unique_ptr<trace::TraceSource> base_source;
         if (!trace_path.empty()) {
@@ -153,8 +327,7 @@ main(int argc, char **argv)
         core::Simulator::Config config;
         config.machine = core::alderlakeConfig(machine_options);
         config.measureInstructions = instructions;
-        config.warmupInstructions =
-            warmup > 0 ? warmup : instructions / 4;
+        config.warmupInstructions = run_options.warmupInstructions;
         config.priorityResetInstructions = reset;
 
         core::Simulator simulator(config, *source);
@@ -162,59 +335,7 @@ main(int argc, char **argv)
         if (writer)
             writer->finish();
 
-        if (csv) {
-            std::printf(
-                "benchmark,policy,instructions,cycles,ipc,l1iMpki,"
-                "l1dMpki,l2iMpki,l2dMpki,starv,starvIqEmpty,"
-                "feStalls,beStalls,energyJ\n");
-            std::printf(
-                "%s,%s,%llu,%llu,%.4f,%.3f,%.3f,%.3f,%.3f,%llu,"
-                "%llu,%llu,%llu,%.6e\n",
-                m.benchmark.c_str(), m.policy.c_str(),
-                static_cast<unsigned long long>(m.instructions),
-                static_cast<unsigned long long>(m.cycles), m.ipc,
-                m.l1iMpki, m.l1dMpki, m.l2InstMpki, m.l2DataMpki,
-                static_cast<unsigned long long>(m.starvationCycles),
-                static_cast<unsigned long long>(
-                    m.starvationIqEmptyCycles),
-                static_cast<unsigned long long>(m.feStallCycles),
-                static_cast<unsigned long long>(m.beStallCycles),
-                m.energy.total());
-            return 0;
-        }
-
-        std::printf("benchmark:          %s\n", m.benchmark.c_str());
-        std::printf("L2 policy:          %s\n", m.policy.c_str());
-        std::printf("instructions:       %llu\n",
-                    static_cast<unsigned long long>(m.instructions));
-        std::printf("cycles:             %llu\n",
-                    static_cast<unsigned long long>(m.cycles));
-        std::printf("IPC:                %.3f\n", m.ipc);
-        std::printf("L1I / L1D MPKI:     %.2f / %.2f\n", m.l1iMpki,
-                    m.l1dMpki);
-        std::printf("L2I / L2D MPKI:     %.2f / %.2f\n",
-                    m.l2InstMpki, m.l2DataMpki);
-        std::printf("starvation cycles:  %llu (%.1f%% of cycles; "
-                    "%llu with empty IQ)\n",
-                    static_cast<unsigned long long>(
-                        m.starvationCycles),
-                    m.cycles ? 100.0 *
-                                   static_cast<double>(
-                                       m.starvationCycles) /
-                                   static_cast<double>(m.cycles)
-                             : 0.0,
-                    static_cast<unsigned long long>(
-                        m.starvationIqEmptyCycles));
-        std::printf("FE / BE stalls:     %llu / %llu\n",
-                    static_cast<unsigned long long>(m.feStallCycles),
-                    static_cast<unsigned long long>(m.beStallCycles));
-        std::printf("energy:             %.3f mJ\n",
-                    m.energy.total() * 1e3);
-        std::printf("high-priority fills / upgrades: %llu / %llu\n",
-                    static_cast<unsigned long long>(
-                        m.highPriorityFills),
-                    static_cast<unsigned long long>(
-                        m.priorityUpgrades));
+        printMetrics(m, csv);
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
