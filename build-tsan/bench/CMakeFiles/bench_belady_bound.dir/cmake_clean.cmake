@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_belady_bound.dir/bench_belady_bound.cpp.o"
+  "CMakeFiles/bench_belady_bound.dir/bench_belady_bound.cpp.o.d"
+  "bench_belady_bound"
+  "bench_belady_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_belady_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fdip_uplift.dir/bench_fdip_uplift.cpp.o"
+  "CMakeFiles/bench_fdip_uplift.dir/bench_fdip_uplift.cpp.o.d"
+  "bench_fdip_uplift"
+  "bench_fdip_uplift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fdip_uplift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

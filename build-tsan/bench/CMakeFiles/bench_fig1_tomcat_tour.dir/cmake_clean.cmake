@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_tomcat_tour.dir/bench_fig1_tomcat_tour.cpp.o"
+  "CMakeFiles/bench_fig1_tomcat_tour.dir/bench_fig1_tomcat_tour.cpp.o.d"
+  "bench_fig1_tomcat_tour"
+  "bench_fig1_tomcat_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_tomcat_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

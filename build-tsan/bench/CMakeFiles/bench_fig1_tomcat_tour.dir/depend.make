@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1_tomcat_tour.
+# This may be replaced when dependencies are built.

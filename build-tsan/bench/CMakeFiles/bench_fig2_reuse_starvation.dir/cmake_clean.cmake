@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_reuse_starvation.dir/bench_fig2_reuse_starvation.cpp.o"
+  "CMakeFiles/bench_fig2_reuse_starvation.dir/bench_fig2_reuse_starvation.cpp.o.d"
+  "bench_fig2_reuse_starvation"
+  "bench_fig2_reuse_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_reuse_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_baseline_mpki.dir/bench_fig3_baseline_mpki.cpp.o"
+  "CMakeFiles/bench_fig3_baseline_mpki.dir/bench_fig3_baseline_mpki.cpp.o.d"
+  "bench_fig3_baseline_mpki"
+  "bench_fig3_baseline_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_baseline_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_footprint.dir/bench_fig4_footprint.cpp.o"
+  "CMakeFiles/bench_fig4_footprint.dir/bench_fig4_footprint.cpp.o.d"
+  "bench_fig4_footprint"
+  "bench_fig4_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_priority_reset.dir/bench_priority_reset.cpp.o"
+  "CMakeFiles/bench_priority_reset.dir/bench_priority_reset.cpp.o.d"
+  "bench_priority_reset"
+  "bench_priority_reset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_priority_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

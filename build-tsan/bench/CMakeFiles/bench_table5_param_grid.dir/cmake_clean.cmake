@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_param_grid.dir/bench_table5_param_grid.cpp.o"
+  "CMakeFiles/bench_table5_param_grid.dir/bench_table5_param_grid.cpp.o.d"
+  "bench_table5_param_grid"
+  "bench_table5_param_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_param_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

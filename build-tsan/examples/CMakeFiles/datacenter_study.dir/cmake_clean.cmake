@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_study.dir/datacenter_study.cpp.o"
+  "CMakeFiles/datacenter_study.dir/datacenter_study.cpp.o.d"
+  "datacenter_study"
+  "datacenter_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emissary_backend.dir/backend.cc.o"
+  "CMakeFiles/emissary_backend.dir/backend.cc.o.d"
+  "libemissary_backend.a"
+  "libemissary_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emissary_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemissary_backend.a"
+)

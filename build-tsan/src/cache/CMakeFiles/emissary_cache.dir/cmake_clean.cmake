@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emissary_cache.dir/cache.cc.o"
+  "CMakeFiles/emissary_cache.dir/cache.cc.o.d"
+  "CMakeFiles/emissary_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/emissary_cache.dir/hierarchy.cc.o.d"
+  "libemissary_cache.a"
+  "libemissary_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emissary_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

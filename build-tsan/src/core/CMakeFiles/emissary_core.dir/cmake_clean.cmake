@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emissary_core.dir/config.cc.o"
+  "CMakeFiles/emissary_core.dir/config.cc.o.d"
+  "CMakeFiles/emissary_core.dir/experiment.cc.o"
+  "CMakeFiles/emissary_core.dir/experiment.cc.o.d"
+  "CMakeFiles/emissary_core.dir/grid.cc.o"
+  "CMakeFiles/emissary_core.dir/grid.cc.o.d"
+  "CMakeFiles/emissary_core.dir/simulator.cc.o"
+  "CMakeFiles/emissary_core.dir/simulator.cc.o.d"
+  "CMakeFiles/emissary_core.dir/threadpool.cc.o"
+  "CMakeFiles/emissary_core.dir/threadpool.cc.o.d"
+  "libemissary_core.a"
+  "libemissary_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emissary_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

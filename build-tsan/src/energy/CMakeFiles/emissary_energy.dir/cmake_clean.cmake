@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emissary_energy.dir/model.cc.o"
+  "CMakeFiles/emissary_energy.dir/model.cc.o.d"
+  "libemissary_energy.a"
+  "libemissary_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emissary_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

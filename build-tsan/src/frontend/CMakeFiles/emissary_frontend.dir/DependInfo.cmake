@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/btb.cc" "src/frontend/CMakeFiles/emissary_frontend.dir/btb.cc.o" "gcc" "src/frontend/CMakeFiles/emissary_frontend.dir/btb.cc.o.d"
+  "/root/repo/src/frontend/frontend.cc" "src/frontend/CMakeFiles/emissary_frontend.dir/frontend.cc.o" "gcc" "src/frontend/CMakeFiles/emissary_frontend.dir/frontend.cc.o.d"
+  "/root/repo/src/frontend/ittage.cc" "src/frontend/CMakeFiles/emissary_frontend.dir/ittage.cc.o" "gcc" "src/frontend/CMakeFiles/emissary_frontend.dir/ittage.cc.o.d"
+  "/root/repo/src/frontend/tage.cc" "src/frontend/CMakeFiles/emissary_frontend.dir/tage.cc.o" "gcc" "src/frontend/CMakeFiles/emissary_frontend.dir/tage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/cache/CMakeFiles/emissary_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/emissary_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/emissary_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/replacement/CMakeFiles/emissary_replacement.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/emissary_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emissary_frontend.dir/btb.cc.o"
+  "CMakeFiles/emissary_frontend.dir/btb.cc.o.d"
+  "CMakeFiles/emissary_frontend.dir/frontend.cc.o"
+  "CMakeFiles/emissary_frontend.dir/frontend.cc.o.d"
+  "CMakeFiles/emissary_frontend.dir/ittage.cc.o"
+  "CMakeFiles/emissary_frontend.dir/ittage.cc.o.d"
+  "CMakeFiles/emissary_frontend.dir/tage.cc.o"
+  "CMakeFiles/emissary_frontend.dir/tage.cc.o.d"
+  "libemissary_frontend.a"
+  "libemissary_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emissary_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replacement/dclip.cc" "src/replacement/CMakeFiles/emissary_replacement.dir/dclip.cc.o" "gcc" "src/replacement/CMakeFiles/emissary_replacement.dir/dclip.cc.o.d"
+  "/root/repo/src/replacement/emissary.cc" "src/replacement/CMakeFiles/emissary_replacement.dir/emissary.cc.o" "gcc" "src/replacement/CMakeFiles/emissary_replacement.dir/emissary.cc.o.d"
+  "/root/repo/src/replacement/lru.cc" "src/replacement/CMakeFiles/emissary_replacement.dir/lru.cc.o" "gcc" "src/replacement/CMakeFiles/emissary_replacement.dir/lru.cc.o.d"
+  "/root/repo/src/replacement/mode.cc" "src/replacement/CMakeFiles/emissary_replacement.dir/mode.cc.o" "gcc" "src/replacement/CMakeFiles/emissary_replacement.dir/mode.cc.o.d"
+  "/root/repo/src/replacement/pdp.cc" "src/replacement/CMakeFiles/emissary_replacement.dir/pdp.cc.o" "gcc" "src/replacement/CMakeFiles/emissary_replacement.dir/pdp.cc.o.d"
+  "/root/repo/src/replacement/rrip.cc" "src/replacement/CMakeFiles/emissary_replacement.dir/rrip.cc.o" "gcc" "src/replacement/CMakeFiles/emissary_replacement.dir/rrip.cc.o.d"
+  "/root/repo/src/replacement/spec.cc" "src/replacement/CMakeFiles/emissary_replacement.dir/spec.cc.o" "gcc" "src/replacement/CMakeFiles/emissary_replacement.dir/spec.cc.o.d"
+  "/root/repo/src/replacement/tplru.cc" "src/replacement/CMakeFiles/emissary_replacement.dir/tplru.cc.o" "gcc" "src/replacement/CMakeFiles/emissary_replacement.dir/tplru.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/emissary_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

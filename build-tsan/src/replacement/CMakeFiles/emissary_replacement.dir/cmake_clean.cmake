@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emissary_replacement.dir/dclip.cc.o"
+  "CMakeFiles/emissary_replacement.dir/dclip.cc.o.d"
+  "CMakeFiles/emissary_replacement.dir/emissary.cc.o"
+  "CMakeFiles/emissary_replacement.dir/emissary.cc.o.d"
+  "CMakeFiles/emissary_replacement.dir/lru.cc.o"
+  "CMakeFiles/emissary_replacement.dir/lru.cc.o.d"
+  "CMakeFiles/emissary_replacement.dir/mode.cc.o"
+  "CMakeFiles/emissary_replacement.dir/mode.cc.o.d"
+  "CMakeFiles/emissary_replacement.dir/pdp.cc.o"
+  "CMakeFiles/emissary_replacement.dir/pdp.cc.o.d"
+  "CMakeFiles/emissary_replacement.dir/rrip.cc.o"
+  "CMakeFiles/emissary_replacement.dir/rrip.cc.o.d"
+  "CMakeFiles/emissary_replacement.dir/spec.cc.o"
+  "CMakeFiles/emissary_replacement.dir/spec.cc.o.d"
+  "CMakeFiles/emissary_replacement.dir/tplru.cc.o"
+  "CMakeFiles/emissary_replacement.dir/tplru.cc.o.d"
+  "libemissary_replacement.a"
+  "libemissary_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emissary_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emissary_stats.dir/histogram.cc.o"
+  "CMakeFiles/emissary_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/emissary_stats.dir/registry.cc.o"
+  "CMakeFiles/emissary_stats.dir/registry.cc.o.d"
+  "CMakeFiles/emissary_stats.dir/table.cc.o"
+  "CMakeFiles/emissary_stats.dir/table.cc.o.d"
+  "libemissary_stats.a"
+  "libemissary_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emissary_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

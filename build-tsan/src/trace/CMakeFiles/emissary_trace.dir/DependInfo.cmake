@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/executor.cc" "src/trace/CMakeFiles/emissary_trace.dir/executor.cc.o" "gcc" "src/trace/CMakeFiles/emissary_trace.dir/executor.cc.o.d"
+  "/root/repo/src/trace/file.cc" "src/trace/CMakeFiles/emissary_trace.dir/file.cc.o" "gcc" "src/trace/CMakeFiles/emissary_trace.dir/file.cc.o.d"
+  "/root/repo/src/trace/profile.cc" "src/trace/CMakeFiles/emissary_trace.dir/profile.cc.o" "gcc" "src/trace/CMakeFiles/emissary_trace.dir/profile.cc.o.d"
+  "/root/repo/src/trace/program.cc" "src/trace/CMakeFiles/emissary_trace.dir/program.cc.o" "gcc" "src/trace/CMakeFiles/emissary_trace.dir/program.cc.o.d"
+  "/root/repo/src/trace/reuse.cc" "src/trace/CMakeFiles/emissary_trace.dir/reuse.cc.o" "gcc" "src/trace/CMakeFiles/emissary_trace.dir/reuse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/emissary_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emissary_trace.dir/executor.cc.o"
+  "CMakeFiles/emissary_trace.dir/executor.cc.o.d"
+  "CMakeFiles/emissary_trace.dir/file.cc.o"
+  "CMakeFiles/emissary_trace.dir/file.cc.o.d"
+  "CMakeFiles/emissary_trace.dir/profile.cc.o"
+  "CMakeFiles/emissary_trace.dir/profile.cc.o.d"
+  "CMakeFiles/emissary_trace.dir/program.cc.o"
+  "CMakeFiles/emissary_trace.dir/program.cc.o.d"
+  "CMakeFiles/emissary_trace.dir/reuse.cc.o"
+  "CMakeFiles/emissary_trace.dir/reuse.cc.o.d"
+  "libemissary_trace.a"
+  "libemissary_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emissary_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

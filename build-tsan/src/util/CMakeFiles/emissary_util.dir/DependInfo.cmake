@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/rational.cc" "src/util/CMakeFiles/emissary_util.dir/rational.cc.o" "gcc" "src/util/CMakeFiles/emissary_util.dir/rational.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/emissary_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/emissary_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/strutil.cc" "src/util/CMakeFiles/emissary_util.dir/strutil.cc.o" "gcc" "src/util/CMakeFiles/emissary_util.dir/strutil.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emissary_util.dir/rational.cc.o"
+  "CMakeFiles/emissary_util.dir/rational.cc.o.d"
+  "CMakeFiles/emissary_util.dir/rng.cc.o"
+  "CMakeFiles/emissary_util.dir/rng.cc.o.d"
+  "CMakeFiles/emissary_util.dir/strutil.cc.o"
+  "CMakeFiles/emissary_util.dir/strutil.cc.o.d"
+  "libemissary_util.a"
+  "libemissary_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emissary_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_energy.dir/test_config_energy.cpp.o"
+  "CMakeFiles/test_config_energy.dir/test_config_energy.cpp.o.d"
+  "test_config_energy"
+  "test_config_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

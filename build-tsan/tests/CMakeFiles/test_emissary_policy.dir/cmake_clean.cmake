@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emissary_policy.dir/test_emissary_policy.cpp.o"
+  "CMakeFiles/test_emissary_policy.dir/test_emissary_policy.cpp.o.d"
+  "test_emissary_policy"
+  "test_emissary_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emissary_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

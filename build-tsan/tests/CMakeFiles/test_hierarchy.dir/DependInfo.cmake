@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/test_hierarchy.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/test_hierarchy.dir/test_hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/emissary_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/frontend/CMakeFiles/emissary_frontend.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/backend/CMakeFiles/emissary_backend.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/energy/CMakeFiles/emissary_energy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/emissary_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/emissary_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/replacement/CMakeFiles/emissary_replacement.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/emissary_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/emissary_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hierarchy_property.dir/test_hierarchy_property.cpp.o"
+  "CMakeFiles/test_hierarchy_property.dir/test_hierarchy_property.cpp.o.d"
+  "test_hierarchy_property"
+  "test_hierarchy_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hierarchy_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

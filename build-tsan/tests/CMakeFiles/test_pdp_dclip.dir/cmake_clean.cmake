@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdp_dclip.dir/test_pdp_dclip.cpp.o"
+  "CMakeFiles/test_pdp_dclip.dir/test_pdp_dclip.cpp.o.d"
+  "test_pdp_dclip"
+  "test_pdp_dclip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdp_dclip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

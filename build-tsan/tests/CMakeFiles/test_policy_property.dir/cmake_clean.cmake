@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_property.dir/test_policy_property.cpp.o"
+  "CMakeFiles/test_policy_property.dir/test_policy_property.cpp.o.d"
+  "test_policy_property"
+  "test_policy_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

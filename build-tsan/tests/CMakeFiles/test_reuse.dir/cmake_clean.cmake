@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reuse.dir/test_reuse.cpp.o"
+  "CMakeFiles/test_reuse.dir/test_reuse.cpp.o.d"
+  "test_reuse"
+  "test_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rrip.dir/test_rrip.cpp.o"
+  "CMakeFiles/test_rrip.dir/test_rrip.cpp.o.d"
+  "test_rrip"
+  "test_rrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tplru.dir/test_tplru.cpp.o"
+  "CMakeFiles/test_tplru.dir/test_tplru.cpp.o.d"
+  "test_tplru"
+  "test_tplru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tplru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

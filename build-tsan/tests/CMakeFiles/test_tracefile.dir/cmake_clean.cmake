@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracefile.dir/test_tracefile.cpp.o"
+  "CMakeFiles/test_tracefile.dir/test_tracefile.cpp.o.d"
+  "test_tracefile"
+  "test_tracefile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

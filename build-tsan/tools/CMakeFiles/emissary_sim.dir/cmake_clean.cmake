@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emissary_sim.dir/emissary_sim.cc.o"
+  "CMakeFiles/emissary_sim.dir/emissary_sim.cc.o.d"
+  "emissary_sim"
+  "emissary_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emissary_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
