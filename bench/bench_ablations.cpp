@@ -90,6 +90,7 @@ main()
                                2)});
     std::printf("%s\n", table.render().c_str());
     bench::reportSweepTiming(results, grid.workloads);
+    bench::writeSweepArtifact("ablations", grid, results);
     std::printf(
         "paper shape: the L2 placement wins; L1I-EMISSARY is near\n"
         "zero (§3); bypass does not beat insert-always (§2); the\n"

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,26 @@ reportSweepTiming(const core::GridResults &results,
 {
     std::printf("sweep wall-clock:\n%s\n",
                 results.timingTable(workloads).render().c_str());
+}
+
+/**
+ * Write the sweep's JSON artifact ("<bench>_sweep.json": a per-run
+ * manifest for every cell plus the timing aggregate) into the
+ * directory named by EMISSARY_BENCH_JSON. Opt-in: with the variable
+ * unset the bench binaries produce no files, as before.
+ */
+inline void
+writeSweepArtifact(const std::string &bench_name,
+                   const core::PolicyGrid &grid,
+                   const core::GridResults &results)
+{
+    const char *dir = std::getenv("EMISSARY_BENCH_JSON");
+    if (!dir || *dir == '\0')
+        return;
+    const std::string path =
+        std::string(dir) + "/" + bench_name + "_sweep.json";
+    core::writeSweepJson(path, grid, results);
+    std::printf("sweep JSON: %s\n", path.c_str());
 }
 
 } // namespace emissary::bench

@@ -87,6 +87,7 @@ main()
         std::fflush(stdout);
     }
     bench::reportSweepTiming(results, workloads);
+    bench::writeSweepArtifact("fig5_policy_sweep", grid, results);
     std::printf(
         "paper shape: for benchmarks with L2I MPKI > 1, speedup rises\n"
         "and starvation falls as N grows to ~8 (half the ways), then\n"

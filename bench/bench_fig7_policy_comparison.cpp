@@ -81,6 +81,7 @@ main()
     std::printf("Energy reduction (%%) vs TPLRU + FDIP baseline:\n%s\n",
                 energy_table.render().c_str());
     bench::reportSweepTiming(results, workloads);
+    bench::writeSweepArtifact("fig7_policy_comparison", grid, results);
     std::printf(
         "paper shape: EMISSARY P(8) variants lead; M:0 and the\n"
         "insertion-only M: policies trail or lose; the comparators\n"

@@ -65,6 +65,7 @@ main()
                     policies[p].c_str(),
                     100.0 * saturated[p] / n_benchmarks);
     bench::reportSweepTiming(results, workloads);
+    bench::writeSweepArtifact("fig8_saturation", grid, results);
     std::printf(
         "\npaper shape: plain P(8):S&E saturates most sets on the\n"
         "code-heavy benchmarks, while the random filter keeps\n"

@@ -110,6 +110,8 @@ main()
 
     std::printf("\n%s\n", table.render().c_str());
     bench::reportSweepTiming(results, benchmarks);
+    bench::writeSweepArtifact("table5_param_grid", policy_grid,
+                              results);
     std::printf(
         "paper shape: speedups peak near N = 6-8 for most columns and\n"
         "collapse at N = 12-14 for unfiltered columns; the best r sits\n"

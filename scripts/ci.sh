@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# CI driver: the exact sequence the GitHub workflow runs, kept as a
+# script so it can be reproduced locally with ./scripts/ci.sh.
+#
+#   1. Release build + full test suite
+#   2. Observability smoke: --stats-json / --sample-interval /
+#      --trace-out output must parse and carry the expected keys
+#   3. AddressSanitizer build + full test suite
+#   4. ThreadSanitizer build + the "threaded" test label
+#
+# Stages can be selected: ./scripts/ci.sh release asan tsan smoke
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${CI_JOBS:-$(nproc)}"
+STAGES="${*:-release smoke asan tsan}"
+
+run_stage() { echo; echo "=== ci: $* ==="; }
+
+configure_build_test() {
+    local dir="$1"; shift
+    cmake -B "$dir" -S . "$@" >/dev/null
+    cmake --build "$dir" -j "$JOBS"
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" "${CTEST_ARGS[@]}"
+}
+
+for stage in $STAGES; do
+    case "$stage" in
+    release)
+        run_stage "Release build + tests"
+        CTEST_ARGS=()
+        configure_build_test build-ci-release \
+            -DCMAKE_BUILD_TYPE=Release
+        ;;
+    smoke)
+        run_stage "observability smoke run"
+        [ -x build-ci-release/tools/emissary_sim ] ||
+            { echo "run the release stage first" >&2; exit 1; }
+        out="$(mktemp -d)"
+        build-ci-release/tools/emissary_sim \
+            --benchmark verilator --policy "EMISSARY" \
+            --instructions 200000 \
+            --stats-json "$out/run.json" --sample-interval 50000 \
+            --trace-out "$out/trace.jsonl" >/dev/null
+        build-ci-release/tools/json_check "$out/run.json" \
+            metrics.ipc counters.l2.inst_misses \
+            samples.interval config.measure_instructions
+        # Every JSONL event line must parse too.
+        while IFS= read -r line; do
+            printf '%s' "$line" >"$out/event.json"
+            build-ci-release/tools/json_check "$out/event.json" \
+                event cycle
+        done < <(head -100 "$out/trace.jsonl")
+        # Unknown flags must fail loudly.
+        if build-ci-release/tools/emissary_sim --no-such-flag \
+            2>/dev/null; then
+            echo "unknown flag did not fail" >&2; exit 1
+        fi
+        rm -rf "$out"
+        echo "smoke OK"
+        ;;
+    asan)
+        run_stage "AddressSanitizer build + tests"
+        CTEST_ARGS=()
+        configure_build_test build-ci-asan \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DEMISSARY_SANITIZE=address
+        ;;
+    tsan)
+        run_stage "ThreadSanitizer build + threaded tests"
+        CTEST_ARGS=(-L threaded)
+        configure_build_test build-ci-tsan \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DEMISSARY_SANITIZE=thread
+        ;;
+    *)
+        echo "unknown stage '$stage'" >&2; exit 1
+        ;;
+    esac
+done
+
+echo
+echo "=== ci: all stages passed ==="

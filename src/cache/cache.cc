@@ -1,8 +1,10 @@
 #include "cache/cache.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
+#include "replacement/emissary.hh"
 #include "util/bitutil.hh"
 
 namespace emissary::cache
@@ -190,6 +192,30 @@ Cache::priorityDistribution() const
         hist.sample(std::min(count, config_.ways));
     }
     return hist;
+}
+
+std::vector<std::uint64_t>
+Cache::priorityOccupancy() const
+{
+    std::vector<std::uint64_t> counts(config_.ways + 1, 0);
+    if (spec_.family == replacement::PolicyFamily::EmissaryP) {
+        const auto &emissary =
+            static_cast<const replacement::EmissaryPolicy &>(
+                *policy_);
+        for (const std::uint16_t high : emissary.protectedCounts())
+            ++counts[std::min<unsigned>(high, config_.ways)];
+        return counts;
+    }
+    for (unsigned set = 0; set < sets_; ++set) {
+        unsigned count = 0;
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            const CacheLine &line = lineAt(set, w);
+            if (line.valid && line.priority)
+                ++count;
+        }
+        ++counts[std::min(count, config_.ways)];
+    }
+    return counts;
 }
 
 std::uint64_t

@@ -115,6 +115,15 @@ class Cache
      *  (counts above ways are clamped); Fig. 8. */
     stats::DenseHistogram priorityDistribution() const;
 
+    /**
+     * Raw Fig. 8 occupancy counts: element k is the number of sets
+     * holding exactly k P=1 lines. The sampler probes this every
+     * interval, so EMISSARY arrays answer from the policy's cached
+     * per-set protected counts (O(sets)) instead of scanning every
+     * line.
+     */
+    std::vector<std::uint64_t> priorityOccupancy() const;
+
     /** Number of resident lines with P=1 (testing). */
     std::uint64_t highPriorityLineCount() const;
 

@@ -166,6 +166,7 @@ Hierarchy::noteStarvation(std::uint64_t line_addr, bool iq_empty)
     it->second.starved = true;
     it->second.iqEmpty = it->second.iqEmpty || iq_empty;
     ++it->second.starveCycles;
+    ++stats_.starvationNotes;
     if (starvationMapEnabled_)
         ++starvationByLine_[line_addr];
     if (observer_)
@@ -179,8 +180,12 @@ Hierarchy::handleL2Eviction(const Cache::Eviction &ev)
         return;
 
     bool dirty = ev.line.dirty;
+    ++stats_.l2Evictions;
     if (ev.line.priority)
         ++stats_.l2ProtectedEvictions;
+    if (observer_)
+        observer_->onL2Eviction(ev.lineAddr, ev.line.priority,
+                                ev.line.dirty);
 
     // Inclusive L2: remove stale copies from the L1s. A displaced
     // L1I priority bit dies with the line (it is leaving both
@@ -215,6 +220,9 @@ Hierarchy::fillL2(std::uint64_t line_addr, bool is_instruction,
     const Cache::Eviction ev =
         l2_.insert(line_addr, info, is_instruction, /*dirty=*/false,
                    sfl, /*prefetched=*/false);
+    ++stats_.l2Fills;
+    if (observer_)
+        observer_->onL2Fill(line_addr, is_instruction, high_priority);
     handleL2Eviction(ev);
 }
 
@@ -299,6 +307,8 @@ Hierarchy::complete(std::uint64_t line_addr, Mshr &entry)
             // copy (§3) — the heart of EMISSARY's persistence.
             l2_.raisePriority(ev.lineAddr);
             ++stats_.priorityUpgrades;
+            if (observer_)
+                observer_->onPriorityUpgrade(ev.lineAddr);
         }
     } else {
         replacement::LineInfo info;

@@ -59,6 +59,39 @@ class HierarchyObserver
     {
         (void)line_addr;
     }
+
+    // Replacement-decision events (observability layer). Each has a
+    // HierarchyStats counter incremented at the same call site, so
+    // event streams reconcile exactly with the end-of-window
+    // counters. All default no-op.
+
+    /** A line was inserted into the L2. */
+    virtual void
+    onL2Fill(std::uint64_t line_addr, bool is_instruction,
+             bool high_priority)
+    {
+        (void)line_addr;
+        (void)is_instruction;
+        (void)high_priority;
+    }
+
+    /** A line was displaced from the L2 by a fill. */
+    virtual void
+    onL2Eviction(std::uint64_t line_addr, bool was_priority,
+                 bool dirty)
+    {
+        (void)line_addr;
+        (void)was_priority;
+        (void)dirty;
+    }
+
+    /** An L1I eviction communicated starvation history to the L2
+     *  copy (EMISSARY's priority upgrade, §3). */
+    virtual void
+    onPriorityUpgrade(std::uint64_t line_addr)
+    {
+        (void)line_addr;
+    }
 };
 
 /** Aggregate hierarchy statistics for one measurement window. */
@@ -77,8 +110,13 @@ struct HierarchyStats
     std::uint64_t dramReads = 0;
     std::uint64_t dramWrites = 0;
     std::uint64_t nlpIssued = 0;
+    std::uint64_t l2Fills = 0;            ///< Lines inserted into L2.
+    std::uint64_t l2Evictions = 0;        ///< Lines displaced from L2.
     std::uint64_t highPriorityFills = 0;  ///< L1I fills with P=1.
     std::uint64_t priorityUpgrades = 0;   ///< L1I evicts raising L2 P.
+    /** Starvation cycles charged to an outstanding miss (the exact
+     *  count of accepted noteStarvation calls this window). */
+    std::uint64_t starvationNotes = 0;
     std::uint64_t l2InstHitsProtected = 0; ///< L2 I-hits on P=1 lines.
     std::uint64_t l2ProtectedEvictions = 0; ///< P=1 lines evicted.
     std::uint64_t idealHiddenMisses = 0;  ///< §5.6 ideal-L2I saves.

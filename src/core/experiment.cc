@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
@@ -28,6 +29,16 @@ runPolicy(const trace::SyntheticProgram &program,
           const replacement::PolicySpec &l1i_spec,
           const RunOptions &options)
 {
+    return runPolicy(program, l2_spec, l1i_spec, options, nullptr);
+}
+
+Metrics
+runPolicy(const trace::SyntheticProgram &program,
+          const replacement::PolicySpec &l2_spec,
+          const replacement::PolicySpec &l1i_spec,
+          const RunOptions &options,
+          RunInstrumentation *instrumentation)
+{
     MachineOptions machine_options;
     machine_options.l2Spec = l2_spec;
     machine_options.l1iSpec = l1i_spec;
@@ -47,13 +58,27 @@ runPolicy(const trace::SyntheticProgram &program,
     sim_config.measureInstructions = options.measureInstructions;
     sim_config.priorityResetInstructions =
         options.priorityResetInstructions;
+    if (instrumentation)
+        sim_config.sampleInterval = instrumentation->sampleInterval;
 
     // A fresh executor with the profile's own seed: every policy run
     // for this benchmark replays the identical committed path.
     trace::SyntheticExecutor executor(program);
     Simulator simulator(sim_config, executor);
+    if (instrumentation && instrumentation->traceSink)
+        simulator.setTraceSink(instrumentation->traceSink);
+
+    const auto start = std::chrono::steady_clock::now();
     Metrics metrics = simulator.run();
+    const auto stop = std::chrono::steady_clock::now();
+
     metrics.codeFootprintLines = executor.uniqueCodeLines();
+    if (instrumentation) {
+        simulator.exportRegistry(instrumentation->registry);
+        instrumentation->sampler = simulator.sampler();
+        instrumentation->wallSeconds =
+            std::chrono::duration<double>(stop - start).count();
+    }
     return metrics;
 }
 

@@ -16,8 +16,15 @@
 
 #include "core/metrics.hh"
 #include "replacement/spec.hh"
+#include "stats/registry.hh"
+#include "stats/sampler.hh"
 #include "trace/profile.hh"
 #include "trace/program.hh"
+
+namespace emissary::stats
+{
+class TraceSink;
+}
 
 namespace emissary::core
 {
@@ -61,6 +68,35 @@ Metrics runPolicy(const trace::SyntheticProgram &program,
                   const replacement::PolicySpec &l2_spec,
                   const replacement::PolicySpec &l1i_spec,
                   const RunOptions &options);
+
+/**
+ * Observability attachments for one run. Inputs (sampleInterval,
+ * traceSink) are read before the run; outputs (registry, sampler,
+ * wallSeconds) are filled when it completes. All off by default —
+ * the plain runPolicy overloads pay no observability cost.
+ */
+struct RunInstrumentation
+{
+    /** Snapshot cadence in committed instructions (0 = off). */
+    std::uint64_t sampleInterval = 0;
+    /** JSONL event sink, armed for the measurement window only
+     *  (nullptr = off). Not owned. */
+    stats::TraceSink *traceSink = nullptr;
+
+    /** End-of-window counters under their dotted names. */
+    stats::Registry registry;
+    /** Interval snapshots (empty unless sampleInterval > 0). */
+    stats::Sampler sampler;
+    /** Wall-clock of the simulate call, excluding program build. */
+    double wallSeconds = 0.0;
+};
+
+/** Instrumented variant: as above, plus structured observability. */
+Metrics runPolicy(const trace::SyntheticProgram &program,
+                  const replacement::PolicySpec &l2_spec,
+                  const replacement::PolicySpec &l1i_spec,
+                  const RunOptions &options,
+                  RunInstrumentation *instrumentation);
 
 /** Speedup of @p test over @p base in percent (paper convention). */
 double speedupPercent(const Metrics &base, const Metrics &test);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/observability.hh"
 #include "trace/program.hh"
 #include "util/strutil.hh"
 
@@ -193,6 +194,59 @@ runGrid(const PolicyGrid &grid)
 {
     ThreadPool pool;
     return runGrid(grid, pool);
+}
+
+stats::JsonValue
+sweepJson(const PolicyGrid &grid, const GridResults &results)
+{
+    using stats::JsonValue;
+
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue("emissary.sweep.v1"));
+    doc.set("workloads",
+            JsonValue(static_cast<std::uint64_t>(
+                grid.workloads.size())));
+    doc.set("policies", JsonValue(static_cast<std::uint64_t>(
+                            grid.runs.size())));
+
+    JsonValue runs = JsonValue::array();
+    for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+        for (std::size_t r = 0; r < grid.runs.size(); ++r) {
+            const RunSpec &spec = grid.runs[r];
+            const RunOptions &opts = spec.options;
+
+            JsonValue manifest = JsonValue::object();
+            manifest.set("benchmark",
+                         JsonValue(grid.workloads[w].name));
+            manifest.set("policy", JsonValue(spec.l2Policy));
+            manifest.set("label", JsonValue(spec.label));
+            manifest.set("seed", JsonValue(opts.seed));
+            manifest.set("config", runOptionsJson(opts));
+
+            manifest.set("wall_seconds",
+                         JsonValue(results.timing().runSeconds[w][r]));
+            manifest.set("metrics", results.at(w, r).toJson());
+            runs.push(std::move(manifest));
+        }
+    }
+    doc.set("runs", std::move(runs));
+
+    JsonValue timing = JsonValue::object();
+    timing.set("total_seconds",
+               JsonValue(results.timing().totalSeconds));
+    timing.set("serial_seconds",
+               JsonValue(results.timing().serialSeconds()));
+    timing.set("runs_per_second",
+               JsonValue(results.timing().runsPerSecond()));
+    doc.set("timing", std::move(timing));
+    return doc;
+}
+
+void
+writeSweepJson(const std::string &path, const PolicyGrid &grid,
+               const GridResults &results)
+{
+    stats::writeJsonFile(path, sweepJson(grid, results));
 }
 
 } // namespace emissary::core

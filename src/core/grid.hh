@@ -27,6 +27,7 @@
 #include "core/experiment.hh"
 #include "core/metrics.hh"
 #include "core/threadpool.hh"
+#include "stats/json.hh"
 #include "stats/table.hh"
 #include "trace/profile.hh"
 
@@ -148,6 +149,20 @@ GridResults runGrid(
 
 /** Convenience overload: a private pool of defaultWorkerCount(). */
 GridResults runGrid(const PolicyGrid &grid);
+
+/**
+ * The whole sweep as one JSON document ("emissary.sweep.v1"): a
+ * per-run manifest for every cell — benchmark, policy notation,
+ * label, seed, window config, wall seconds, full metrics — plus the
+ * grid's timing aggregate (total / serial seconds, runs per second).
+ */
+stats::JsonValue sweepJson(const PolicyGrid &grid,
+                           const GridResults &results);
+
+/** sweepJson rendered to @p path (pretty-printed, trailing newline).
+ *  @throws std::runtime_error when the file cannot be written. */
+void writeSweepJson(const std::string &path, const PolicyGrid &grid,
+                    const GridResults &results);
 
 } // namespace emissary::core
 

@@ -12,6 +12,11 @@
 
 #include "energy/model.hh"
 
+namespace emissary::stats
+{
+class JsonValue;
+}
+
 namespace emissary::core
 {
 
@@ -81,6 +86,10 @@ struct Metrics
             return 0.0;
         return 1.0 - energy.total() / base;
     }
+
+    /** Every field as a JSON object (the --stats-json "metrics"
+     *  section; defined in core/observability.cc). */
+    stats::JsonValue toJson() const;
 };
 
 } // namespace emissary::core

@@ -1,0 +1,205 @@
+#include "core/observability.hh"
+
+namespace emissary::core
+{
+
+namespace
+{
+
+void
+setCounter(stats::Registry &registry, const char *name,
+           std::uint64_t value)
+{
+    stats::Counter &counter = registry.counter(name);
+    counter.reset();
+    counter.increment(value);
+}
+
+} // namespace
+
+stats::JsonValue
+runOptionsJson(const RunOptions &options)
+{
+    using stats::JsonValue;
+    JsonValue config = JsonValue::object();
+    config.set("warmup_instructions",
+               JsonValue(options.warmupInstructions));
+    config.set("measure_instructions",
+               JsonValue(options.measureInstructions));
+    config.set("fdip", JsonValue(options.fdip));
+    config.set("next_line_prefetch",
+               JsonValue(options.nextLinePrefetch));
+    config.set("ideal_l2_inst", JsonValue(options.idealL2Inst));
+    config.set("emissary_tree_plru",
+               JsonValue(options.emissaryTreePlru));
+    config.set("l1i_policy", JsonValue(options.l1iPolicy));
+    config.set("bypass_low_priority_inst",
+               JsonValue(options.bypassLowPriorityInst));
+    config.set("priority_reset_instructions",
+               JsonValue(options.priorityResetInstructions));
+    return config;
+}
+
+void
+populateRegistry(stats::Registry &registry,
+                 const cache::HierarchyStats &hierarchy,
+                 const backend::BackendStats &backend,
+                 const frontend::FrontEndStats &frontend)
+{
+    setCounter(registry, "l1i.accesses", hierarchy.l1iAccesses);
+    setCounter(registry, "l1i.misses", hierarchy.l1iMisses);
+    setCounter(registry, "l1d.accesses", hierarchy.l1dAccesses);
+    setCounter(registry, "l1d.misses", hierarchy.l1dMisses);
+    setCounter(registry, "l2.inst_accesses",
+               hierarchy.l2InstAccesses);
+    setCounter(registry, "l2.inst_misses", hierarchy.l2InstMisses);
+    setCounter(registry, "l2.data_accesses",
+               hierarchy.l2DataAccesses);
+    setCounter(registry, "l2.data_misses", hierarchy.l2DataMisses);
+    setCounter(registry, "l2.fills", hierarchy.l2Fills);
+    setCounter(registry, "l2.evictions", hierarchy.l2Evictions);
+    setCounter(registry, "l2.inst_hits_protected",
+               hierarchy.l2InstHitsProtected);
+    setCounter(registry, "l2.protected_evictions",
+               hierarchy.l2ProtectedEvictions);
+    setCounter(registry, "l2.priority_upgrades",
+               hierarchy.priorityUpgrades);
+    setCounter(registry, "l3.accesses", hierarchy.l3Accesses);
+    setCounter(registry, "l3.misses", hierarchy.l3Misses);
+    setCounter(registry, "dram.reads", hierarchy.dramReads);
+    setCounter(registry, "dram.writes", hierarchy.dramWrites);
+    setCounter(registry, "nlp.issued", hierarchy.nlpIssued);
+    setCounter(registry, "l1i.high_priority_fills",
+               hierarchy.highPriorityFills);
+    setCounter(registry, "ideal.hidden_misses",
+               hierarchy.idealHiddenMisses);
+    setCounter(registry, "starve.noted", hierarchy.starvationNotes);
+    setCounter(registry, "starve.served_l2",
+               hierarchy.starveCyclesL2);
+    setCounter(registry, "starve.served_l3",
+               hierarchy.starveCyclesL3);
+    setCounter(registry, "starve.served_mem",
+               hierarchy.starveCyclesMem);
+
+    setCounter(registry, "backend.committed", backend.committed);
+    setCounter(registry, "backend.issued", backend.issued);
+    setCounter(registry, "backend.cycles", backend.cycles);
+    setCounter(registry, "backend.fe_stall_cycles",
+               backend.feStallCycles);
+    setCounter(registry, "backend.be_stall_cycles",
+               backend.beStallCycles);
+    setCounter(registry, "backend.starvation_cycles",
+               backend.starvationCycles);
+    setCounter(registry, "backend.starvation_iq_empty_cycles",
+               backend.starvationIqEmptyCycles);
+    setCounter(registry, "backend.resteer_empty_cycles",
+               backend.resteerEmptyCycles);
+    setCounter(registry, "backend.decode_active_cycles",
+               backend.decodeActiveCycles);
+    setCounter(registry, "backend.issue_active_cycles",
+               backend.issueActiveCycles);
+    setCounter(registry, "backend.loads", backend.loads);
+    setCounter(registry, "backend.stores", backend.stores);
+    setCounter(registry, "backend.branches_resolved",
+               backend.branchesResolved);
+
+    setCounter(registry, "frontend.blocks_formed",
+               frontend.blocksFormed);
+    setCounter(registry, "frontend.cond_branches",
+               frontend.condBranches);
+    setCounter(registry, "frontend.cond_mispredicts",
+               frontend.condMispredicts);
+    setCounter(registry, "frontend.indirect_branches",
+               frontend.indirectBranches);
+    setCounter(registry, "frontend.indirect_mispredicts",
+               frontend.indirectMispredicts);
+    setCounter(registry, "frontend.returns", frontend.returns);
+    setCounter(registry, "frontend.return_mispredicts",
+               frontend.returnMispredicts);
+    setCounter(registry, "frontend.btb_misses", frontend.btbMisses);
+    setCounter(registry, "frontend.btb_miss_resteers",
+               frontend.btbMissResteers);
+    setCounter(registry, "frontend.fetched_instrs",
+               frontend.fetchedInstrs);
+    setCounter(registry, "frontend.fdip_requests",
+               frontend.fdipRequests);
+}
+
+stats::JsonValue
+registryJson(const stats::Registry &registry)
+{
+    stats::JsonValue out = stats::JsonValue::object();
+    for (const std::string &name : registry.names())
+        out.set(name, stats::JsonValue(registry.value(name)));
+    return out;
+}
+
+const std::vector<TraceCategory> &
+traceCategories()
+{
+    static const std::vector<TraceCategory> categories = {
+        {"l2_inst_miss", "l2.inst_misses"},
+        {"l2_fill", "l2.fills"},
+        {"l2_evict", "l2.evictions"},
+        {"priority_upgrade", "l2.priority_upgrades"},
+        {"starvation", "starve.noted"},
+    };
+    return categories;
+}
+
+std::string
+traceCategoryCounter(const std::string &category)
+{
+    for (const TraceCategory &entry : traceCategories())
+        if (category == entry.name)
+            return entry.counter;
+    return {};
+}
+
+stats::JsonValue
+Metrics::toJson() const
+{
+    using stats::JsonValue;
+    JsonValue out = JsonValue::object();
+    out.set("benchmark", JsonValue(benchmark));
+    out.set("policy", JsonValue(policy));
+    out.set("instructions", JsonValue(instructions));
+    out.set("cycles", JsonValue(cycles));
+    out.set("ipc", JsonValue(ipc));
+    out.set("l1i_mpki", JsonValue(l1iMpki));
+    out.set("l1d_mpki", JsonValue(l1dMpki));
+    out.set("l2_inst_mpki", JsonValue(l2InstMpki));
+    out.set("l2_data_mpki", JsonValue(l2DataMpki));
+    out.set("l3_mpki", JsonValue(l3Mpki));
+    out.set("starvation_cycles", JsonValue(starvationCycles));
+    out.set("starvation_iq_empty_cycles",
+            JsonValue(starvationIqEmptyCycles));
+    out.set("fe_stall_cycles", JsonValue(feStallCycles));
+    out.set("be_stall_cycles", JsonValue(beStallCycles));
+    out.set("total_stall_cycles", JsonValue(totalStallCycles));
+    out.set("decode_rate", JsonValue(decodeRate));
+    out.set("issue_rate", JsonValue(issueRate));
+    out.set("cond_mispredicts_per_ki",
+            JsonValue(condMispredictsPerKi));
+    out.set("btb_misses_per_ki", JsonValue(btbMissesPerKi));
+
+    JsonValue energy_json = JsonValue::object();
+    energy_json.set("core_dynamic_j", JsonValue(energy.coreDynamicJ));
+    energy_json.set("cache_dynamic_j",
+                    JsonValue(energy.cacheDynamicJ));
+    energy_json.set("dram_j", JsonValue(energy.dramJ));
+    energy_json.set("leakage_j", JsonValue(energy.leakageJ));
+    energy_json.set("total_j", JsonValue(energy.total()));
+    out.set("energy", std::move(energy_json));
+
+    JsonValue distribution = JsonValue::array();
+    for (const double fraction : priorityDistribution)
+        distribution.push(JsonValue(fraction));
+    out.set("priority_distribution", std::move(distribution));
+    out.set("high_priority_fills", JsonValue(highPriorityFills));
+    out.set("priority_upgrades", JsonValue(priorityUpgrades));
+    out.set("code_footprint_lines", JsonValue(codeFootprintLines));
+    return out;
+}
+
+} // namespace emissary::core

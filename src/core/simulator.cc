@@ -1,9 +1,62 @@
 #include "core/simulator.hh"
 
 #include <stdexcept>
+#include <utility>
+
+#include "core/observability.hh"
 
 namespace emissary::core
 {
+
+void
+Simulator::TraceAdapter::onL2InstMiss(std::uint64_t line_addr)
+{
+    if (armed_ && sim_.traceSink_)
+        sim_.traceSink_->eventLine("l2_inst_miss", sim_.now_,
+                                   line_addr);
+}
+
+void
+Simulator::TraceAdapter::onStarvationCycle(std::uint64_t line_addr)
+{
+    if (armed_ && sim_.traceSink_)
+        sim_.traceSink_->eventLine("starvation", sim_.now_, line_addr);
+}
+
+void
+Simulator::TraceAdapter::onL2Fill(std::uint64_t line_addr,
+                                  bool is_instruction,
+                                  bool high_priority)
+{
+    if (!armed_ || !sim_.traceSink_)
+        return;
+    stats::JsonValue fields = stats::JsonValue::object();
+    fields.set("line", stats::JsonValue(line_addr));
+    fields.set("instruction", stats::JsonValue(is_instruction));
+    fields.set("priority", stats::JsonValue(high_priority));
+    sim_.traceSink_->event("l2_fill", sim_.now_, fields);
+}
+
+void
+Simulator::TraceAdapter::onL2Eviction(std::uint64_t line_addr,
+                                      bool was_priority, bool dirty)
+{
+    if (!armed_ || !sim_.traceSink_)
+        return;
+    stats::JsonValue fields = stats::JsonValue::object();
+    fields.set("line", stats::JsonValue(line_addr));
+    fields.set("priority", stats::JsonValue(was_priority));
+    fields.set("dirty", stats::JsonValue(dirty));
+    sim_.traceSink_->event("l2_evict", sim_.now_, fields);
+}
+
+void
+Simulator::TraceAdapter::onPriorityUpgrade(std::uint64_t line_addr)
+{
+    if (armed_ && sim_.traceSink_)
+        sim_.traceSink_->eventLine("priority_upgrade", sim_.now_,
+                                   line_addr);
+}
 
 Simulator::Simulator(const Config &config, trace::TraceSource &source)
     : config_(config),
@@ -22,6 +75,33 @@ std::uint64_t
 Simulator::committed() const
 {
     return backend_.stats().committed;
+}
+
+void
+Simulator::setTraceSink(stats::TraceSink *sink)
+{
+    traceSink_ = sink;
+    hierarchy_.setObserver(sink != nullptr ? &traceAdapter_ : nullptr);
+}
+
+void
+Simulator::exportRegistry(stats::Registry &registry) const
+{
+    populateRegistry(registry, hierarchy_.stats(), backend_.stats(),
+                     frontend_.stats());
+}
+
+void
+Simulator::takeSample(std::uint64_t measure_start)
+{
+    stats::Registry registry;
+    exportRegistry(registry);
+    stats::Sample sample;
+    sample.instructions = committed();
+    sample.cycles = now_ - measure_start;
+    sample.counters = stats::Sampler::snapshotCounters(registry);
+    sample.priorityOccupancy = hierarchy_.l2().priorityOccupancy();
+    sampler_.record(std::move(sample));
 }
 
 void
@@ -130,10 +210,16 @@ Simulator::run()
     lastPriorityReset_ = 0;
     if (onMeasureStart_)
         onMeasureStart_();
+    // Arm observability for the window: events emitted from here on
+    // match the just-reset counters one-for-one.
+    traceAdapter_.arm();
+    sampler_ = stats::Sampler(config_.sampleInterval);
     const std::uint64_t measure_start = now_;
 
     while (committed() < measure) {
         stepCycle();
+        if (sampler_.due(committed()))
+            takeSample(measure_start);
         if (config_.priorityResetInstructions > 0 &&
             committed() - lastPriorityReset_ >=
                 config_.priorityResetInstructions) {
@@ -144,6 +230,8 @@ Simulator::run()
             throw std::runtime_error("Simulator: measurement exceeded "
                                      "cycle budget");
     }
+    if (traceSink_ != nullptr)
+        traceSink_->flush();
 
     return collect(now_ - measure_start);
 }

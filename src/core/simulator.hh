@@ -20,6 +20,9 @@
 #include "core/config.hh"
 #include "core/metrics.hh"
 #include "frontend/frontend.hh"
+#include "stats/registry.hh"
+#include "stats/sampler.hh"
+#include "stats/trace_sink.hh"
 #include "trace/record.hh"
 
 namespace emissary::core
@@ -42,6 +45,10 @@ class Simulator
         /** Hard cycle cap (safety net against pathological configs;
          *  0 = derive from instruction budget). */
         std::uint64_t maxCycles = 0;
+        /** Observability: snapshot the counter registry and the L2
+         *  priority-bit occupancy every this many committed
+         *  instructions of the measurement window (0 = off). */
+        std::uint64_t sampleInterval = 0;
     };
 
     Simulator(const Config &config, trace::TraceSource &source);
@@ -60,6 +67,21 @@ class Simulator
     /** Advance one cycle (exposed for fine-grained tests). */
     void stepCycle();
 
+    /**
+     * Attach a JSONL event sink (nullptr to detach). Claims the
+     * hierarchy's observer slot; events are emitted only inside the
+     * measurement window so per-category counts reconcile exactly
+     * with the window's registry counters.
+     */
+    void setTraceSink(stats::TraceSink *sink);
+
+    /** Interval snapshots collected so far (sampleInterval > 0). */
+    const stats::Sampler &sampler() const { return sampler_; }
+
+    /** Publish the current component counters into @p registry
+     *  under their dotted names (core/observability.hh). */
+    void exportRegistry(stats::Registry &registry) const;
+
     cache::Hierarchy &hierarchy() { return hierarchy_; }
     frontend::FrontEnd &frontEnd() { return frontend_; }
     backend::Backend &backend() { return backend_; }
@@ -67,7 +89,28 @@ class Simulator
     std::uint64_t committed() const;
 
   private:
+    /** HierarchyObserver → TraceSink adapter, armed at window start. */
+    class TraceAdapter : public cache::HierarchyObserver
+    {
+      public:
+        explicit TraceAdapter(Simulator &sim) : sim_(sim) {}
+        void arm() { armed_ = true; }
+
+        void onL2InstMiss(std::uint64_t line_addr) override;
+        void onStarvationCycle(std::uint64_t line_addr) override;
+        void onL2Fill(std::uint64_t line_addr, bool is_instruction,
+                      bool high_priority) override;
+        void onL2Eviction(std::uint64_t line_addr, bool was_priority,
+                          bool dirty) override;
+        void onPriorityUpgrade(std::uint64_t line_addr) override;
+
+      private:
+        Simulator &sim_;
+        bool armed_ = false;
+    };
+
     void resetWindowStats();
+    void takeSample(std::uint64_t measure_start);
     Metrics collect(std::uint64_t window_cycles) const;
 
     Config config_;
@@ -79,6 +122,9 @@ class Simulator
     std::uint64_t now_ = 0;
     std::uint64_t lastPriorityReset_ = 0;
     std::function<void()> onMeasureStart_;
+    stats::Sampler sampler_;
+    stats::TraceSink *traceSink_ = nullptr;
+    TraceAdapter traceAdapter_{*this};
 };
 
 } // namespace emissary::core

@@ -62,6 +62,18 @@ class EmissaryPolicy : public ReplacementPolicy
     /** Priority bit of a resident line (testing/inspection). */
     bool linePriority(unsigned set, unsigned way) const;
 
+    /**
+     * Per-set P=1 line counts, maintained incrementally on
+     * insert/invalidate/upgrade. The interval sampler's Fig. 8
+     * occupancy probe reads this directly (O(sets)) instead of
+     * scanning every line in the array.
+     */
+    const std::vector<std::uint16_t> &
+    protectedCounts() const
+    {
+        return highCount_;
+    }
+
   private:
     std::uint8_t &prio(unsigned set, unsigned way);
     unsigned victimTrueLru(unsigned set, bool among_high) const;

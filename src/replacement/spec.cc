@@ -38,6 +38,14 @@ PolicySpec::parse(const std::string &text)
         spec.family = PolicyFamily::TreePlru;
         return spec;
     }
+    if (t == "EMISSARY") {
+        // Convenience alias for the paper's headline configuration,
+        // P(8):S&E&R(1/32) (Table 3 / Fig. 7 best variant).
+        spec.family = PolicyFamily::EmissaryP;
+        spec.protectN = 8;
+        spec.selector = ModeSelector::parse("S&E&R(1/32)");
+        return spec;
+    }
     if (t == "SRRIP") {
         spec.family = PolicyFamily::Srrip;
         return spec;

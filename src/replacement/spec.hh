@@ -9,6 +9,7 @@
  *   "M:R(1/32)" (or "BIP")  bimodal insertion
  *   "M:S", "M:S&E", "M:S&E&R(1/32)"  starvation-aware insertion
  *   "P(8):S&E&R(1/32)"      EMISSARY, N = 8
+ *   "EMISSARY"              alias for P(8):S&E&R(1/32)
  *   "TPLRU"                 tree pseudo-LRU (the evaluation baseline)
  *   "SRRIP", "BRRIP", "DRRIP", "PDP", "DCLIP"  comparators
  *

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Dependency-free JSON document model for the observability surface.
+ *
+ * Every machine-readable artifact the simulator emits — per-run stat
+ * dumps, sweep manifests, sampler time series, JSONL trace events —
+ * is assembled through this value type and serialised with dump().
+ * A strict parser is included so tests and tooling can round-trip
+ * what the writer produced (tests/test_json.cpp) and CI can validate
+ * emitted files without external dependencies (tools/json_check.cc).
+ *
+ * Scope is deliberately small: the full JSON value grammar, UTF-8
+ * pass-through with \uXXXX escape decoding, and 64-bit-exact integer
+ * handling (unsigned counters survive a round trip bit-exactly; they
+ * are not squeezed through a double).
+ */
+
+#ifndef EMISSARY_STATS_JSON_HH
+#define EMISSARY_STATS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace emissary::stats
+{
+
+/** One JSON value: null, bool, number, string, array or object. */
+class JsonValue
+{
+  public:
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Int,     ///< Negative integers.
+        Uint,    ///< Non-negative integers (counters).
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+    JsonValue(bool value) : type_(Type::Bool), bool_(value) {}
+    JsonValue(std::int64_t value);
+    JsonValue(std::uint64_t value) : type_(Type::Uint), uint_(value) {}
+    JsonValue(int value) : JsonValue(static_cast<std::int64_t>(value))
+    {
+    }
+    JsonValue(unsigned value)
+        : JsonValue(static_cast<std::uint64_t>(value))
+    {
+    }
+    JsonValue(double value) : type_(Type::Double), double_(value) {}
+    JsonValue(std::string value)
+        : type_(Type::String), string_(std::move(value))
+    {
+    }
+    JsonValue(const char *value) : JsonValue(std::string(value)) {}
+
+    static JsonValue array();
+    static JsonValue object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Uint ||
+               type_ == Type::Double;
+    }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Append to an array; returns the stored element. */
+    JsonValue &push(JsonValue value);
+
+    /** Set an object member (replacing an existing key); insertion
+     *  order is preserved by dump(). Returns the stored value. */
+    JsonValue &set(const std::string &key, JsonValue value);
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Array length / object member count (0 for scalars). */
+    std::size_t size() const;
+
+    /** Array element access. @throws std::out_of_range */
+    const JsonValue &at(std::size_t index) const;
+
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return object_;
+    }
+
+    bool asBool() const;
+    /** @throws std::domain_error when negative or not an integer. */
+    std::uint64_t asUint() const;
+    std::int64_t asInt() const;
+    /** Any number as a double. */
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /**
+     * Serialise.
+     * @param indent Spaces per nesting level; 0 emits compact
+     *        single-line JSON (the JSONL event format).
+     */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse a complete JSON document (trailing garbage rejected).
+     * @throws std::invalid_argument with offset context on malformed
+     *         input.
+     */
+    static JsonValue parse(const std::string &text);
+
+    /** Escape a string body (no surrounding quotes). */
+    static std::string escape(const std::string &text);
+
+    /** Structural equality; Int/Uint compare numerically. */
+    bool operator==(const JsonValue &other) const;
+    bool operator!=(const JsonValue &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/**
+ * Write @p value to @p path (pretty-printed, trailing newline).
+ * @throws std::runtime_error when the file cannot be written.
+ */
+void writeJsonFile(const std::string &path, const JsonValue &value);
+
+} // namespace emissary::stats
+
+#endif // EMISSARY_STATS_JSON_HH

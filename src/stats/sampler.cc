@@ -1,0 +1,63 @@
+#include "stats/sampler.hh"
+
+#include "stats/registry.hh"
+
+namespace emissary::stats
+{
+
+void
+Sampler::record(Sample sample)
+{
+    const std::uint64_t committed = sample.instructions;
+    samples_.push_back(std::move(sample));
+    next_ += interval_;
+    if (next_ <= committed) {
+        // The run jumped more than a whole interval (huge commit
+        // burst or a late first sample): resynchronise forward so we
+        // never emit a backlog of stale samples.
+        next_ = committed + interval_;
+    }
+}
+
+void
+Sampler::reset()
+{
+    samples_.clear();
+    next_ = interval_;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Sampler::snapshotCounters(const Registry &registry)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    const auto names = registry.names();
+    out.reserve(names.size());
+    for (const std::string &name : names)
+        out.emplace_back(name, registry.value(name));
+    return out;
+}
+
+JsonValue
+Sampler::toJson() const
+{
+    JsonValue root = JsonValue::object();
+    root.set("interval", JsonValue(interval_));
+    JsonValue &list = root.set("samples", JsonValue::array());
+    for (const Sample &s : samples_) {
+        JsonValue entry = JsonValue::object();
+        entry.set("instructions", JsonValue(s.instructions));
+        entry.set("cycles", JsonValue(s.cycles));
+        JsonValue counters = JsonValue::object();
+        for (const auto &[name, value] : s.counters)
+            counters.set(name, JsonValue(value));
+        entry.set("counters", std::move(counters));
+        JsonValue occupancy = JsonValue::array();
+        for (const std::uint64_t count : s.priorityOccupancy)
+            occupancy.push(JsonValue(count));
+        entry.set("priority_occupancy", std::move(occupancy));
+        list.push(std::move(entry));
+    }
+    return root;
+}
+
+} // namespace emissary::stats

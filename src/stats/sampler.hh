@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Interval time-series sampler for the observability layer.
+ *
+ * The paper's most interesting evidence is time-resolved — the Fig. 8
+ * per-set P-bit occupancy trajectory, starvation-over-time curves —
+ * so the simulator snapshots its counter registry (and the EMISSARY
+ * priority-bit occupancy of the L2) every K committed instructions
+ * into this in-memory series, exported as JSON at end of run.
+ *
+ * The sampler is cadence-aware but otherwise passive: the simulation
+ * loop asks due(committed) once per cycle (a single compare when
+ * enabled, nothing when the interval is 0) and hands over a complete
+ * Sample when a boundary is crossed.
+ */
+
+#ifndef EMISSARY_STATS_SAMPLER_HH
+#define EMISSARY_STATS_SAMPLER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/json.hh"
+
+namespace emissary::stats
+{
+
+class Registry;
+
+/** One interval snapshot of the measurement window. */
+struct Sample
+{
+    /** Committed instructions since the window began. */
+    std::uint64_t instructions = 0;
+    /** Cycles since the window began. */
+    std::uint64_t cycles = 0;
+    /** Registry counter values at sample time, sorted by name. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    /** Sets holding exactly k high-priority (P=1) lines, indexed by
+     *  k in 0..ways (the Fig. 8 occupancy distribution). */
+    std::vector<std::uint64_t> priorityOccupancy;
+};
+
+/** Fixed-interval snapshot collector. */
+class Sampler
+{
+  public:
+    Sampler() = default;
+
+    /** @param interval Committed instructions between samples;
+     *         0 disables the sampler entirely. */
+    explicit Sampler(std::uint64_t interval)
+        : interval_(interval), next_(interval)
+    {
+    }
+
+    std::uint64_t interval() const { return interval_; }
+    bool enabled() const { return interval_ > 0; }
+
+    /** True when @p committed has crossed the next sample boundary. */
+    bool
+    due(std::uint64_t committed) const
+    {
+        return interval_ > 0 && committed >= next_;
+    }
+
+    /** Store one snapshot and advance the boundary. Commit width can
+     *  jump several instructions past the boundary in one cycle; the
+     *  cadence stays anchored to multiples of the interval unless a
+     *  whole interval was skipped. */
+    void record(Sample sample);
+
+    const std::vector<Sample> &samples() const { return samples_; }
+
+    /** Drop all samples and restart the cadence (new window). */
+    void reset();
+
+    /** Snapshot @p registry into a Sample's counters field. */
+    static std::vector<std::pair<std::string, std::uint64_t>>
+    snapshotCounters(const Registry &registry);
+
+    /** The full series: {"interval": K, "samples": [...]}. */
+    JsonValue toJson() const;
+
+  private:
+    std::uint64_t interval_ = 0;
+    std::uint64_t next_ = 0;
+    std::vector<Sample> samples_;
+};
+
+} // namespace emissary::stats
+
+#endif // EMISSARY_STATS_SAMPLER_HH

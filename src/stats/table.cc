@@ -53,12 +53,33 @@ Table::render() const
 }
 
 std::string
+Table::csvCell(const std::string &cell)
+{
+    // RFC 4180 quoting: cells containing the delimiter, quotes or
+    // newlines are wrapped in double quotes with inner quotes
+    // doubled — policy specs like EMISSARY(N=2,P=1/32) would
+    // otherwise shear into extra columns.
+    if (cell.find_first_of(",\"\n\r") == std::string::npos)
+        return cell;
+    std::string out;
+    out.reserve(cell.size() + 2);
+    out += '"';
+    for (const char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
 Table::renderCsv() const
 {
     std::ostringstream out;
     auto emit_row = [&](const std::vector<std::string> &row) {
         for (std::size_t c = 0; c < row.size(); ++c) {
-            out << row[c];
+            out << csvCell(row[c]);
             if (c + 1 < row.size())
                 out << ',';
         }

@@ -29,8 +29,12 @@ class Table
     /** Render with aligned columns, header rule, one row per line. */
     std::string render() const;
 
-    /** Render as CSV (no alignment padding). */
+    /** Render as CSV (no alignment padding); cells containing the
+     *  delimiter, quotes or newlines are RFC 4180-quoted. */
     std::string renderCsv() const;
+
+    /** Quote one cell for CSV output when needed. */
+    static std::string csvCell(const std::string &cell);
 
     std::size_t rowCount() const { return rows_.size(); }
 

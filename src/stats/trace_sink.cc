@@ -1,0 +1,103 @@
+#include "stats/trace_sink.hh"
+
+#include <stdexcept>
+
+namespace emissary::stats
+{
+
+TraceSink::TraceSink(const std::string &path,
+                     std::vector<std::string> categories)
+    : path_(path), out_(path, std::ios::trunc)
+{
+    if (!out_)
+        throw std::runtime_error("TraceSink: cannot open '" + path +
+                                 "'");
+    for (std::string &category : categories)
+        filter_.insert(std::move(category));
+    buffer_.reserve(kFlushBytes + 1024);
+}
+
+TraceSink::~TraceSink()
+{
+    if (!closed_) {
+        try {
+            close();
+        } catch (...) {
+            // Destructor must not throw; the explicit close() path
+            // exists for callers that need the error.
+        }
+    }
+}
+
+void
+TraceSink::event(const std::string &category, std::uint64_t cycle,
+                 const JsonValue &fields)
+{
+    if (closed_)
+        throw std::logic_error("TraceSink: event after close");
+    if (!wants(category))
+        return;
+
+    ++counts_[category];
+    ++total_;
+
+    buffer_ += "{\"event\":\"";
+    buffer_ += JsonValue::escape(category);
+    buffer_ += "\",\"cycle\":";
+    buffer_ += std::to_string(cycle);
+    for (const auto &[key, value] : fields.members()) {
+        buffer_ += ",\"";
+        buffer_ += JsonValue::escape(key);
+        buffer_ += "\":";
+        buffer_ += value.dump();
+    }
+    buffer_ += "}\n";
+
+    if (buffer_.size() >= kFlushBytes)
+        flush();
+}
+
+void
+TraceSink::eventLine(const std::string &category, std::uint64_t cycle,
+                     std::uint64_t line_addr)
+{
+    JsonValue fields = JsonValue::object();
+    fields.set("line", JsonValue(line_addr));
+    event(category, cycle, fields);
+}
+
+std::uint64_t
+TraceSink::count(const std::string &category) const
+{
+    const auto it = counts_.find(category);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+void
+TraceSink::flush()
+{
+    if (buffer_.empty())
+        return;
+    out_.write(buffer_.data(),
+               static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+    if (!out_)
+        throw std::runtime_error("TraceSink: write failed for '" +
+                                 path_ + "'");
+}
+
+void
+TraceSink::close()
+{
+    if (closed_)
+        return;
+    flush();
+    out_.flush();
+    out_.close();
+    closed_ = true;
+    if (out_.fail())
+        throw std::runtime_error("TraceSink: close failed for '" +
+                                 path_ + "'");
+}
+
+} // namespace emissary::stats

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Buffered JSONL event sink for replacement-decision tracing.
+ *
+ * Each accepted event becomes one compact JSON object on its own line
+ * ({"event":"l2_evict","cycle":1234,"line":8765,...}), so individual
+ * replacement decisions can be audited against Algorithm 1 with any
+ * line-oriented tooling. Writes are buffered and flushed in 64 kB
+ * chunks to keep tracing out of the simulation's syscall budget.
+ *
+ * The sink keeps an exact per-category event count; tests reconcile
+ * those counts against the simulator's registry counters (every
+ * traced category has a counter incremented at the same source line
+ * that raises the event — see core/observability.hh).
+ */
+
+#ifndef EMISSARY_STATS_TRACE_SINK_HH
+#define EMISSARY_STATS_TRACE_SINK_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "stats/json.hh"
+
+namespace emissary::stats
+{
+
+/** Category-filtered, buffered JSONL writer. */
+class TraceSink
+{
+  public:
+    /**
+     * @param path Output file (truncated).
+     * @param categories Accepted event categories; empty accepts all.
+     * @throws std::runtime_error when the file cannot be opened.
+     */
+    explicit TraceSink(const std::string &path,
+                       std::vector<std::string> categories = {});
+
+    /** Flushes and closes. */
+    ~TraceSink();
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /** True when @p category passes the filter. */
+    bool
+    wants(const std::string &category) const
+    {
+        return filter_.empty() || filter_.count(category) > 0;
+    }
+
+    /**
+     * Emit one event line. @p fields must be an object; its members
+     * are appended after the standard "event" and "cycle" keys.
+     * Events failing the category filter are dropped (not counted).
+     */
+    void event(const std::string &category, std::uint64_t cycle,
+               const JsonValue &fields);
+
+    /** Convenience: event with a single "line" field. */
+    void eventLine(const std::string &category, std::uint64_t cycle,
+                   std::uint64_t line_addr);
+
+    /** Accepted events per category (exact, includes buffered). */
+    const std::map<std::string, std::uint64_t> &
+    counts() const
+    {
+        return counts_;
+    }
+
+    std::uint64_t count(const std::string &category) const;
+
+    /** Total accepted events. */
+    std::uint64_t totalEvents() const { return total_; }
+
+    const std::string &path() const { return path_; }
+
+    /** Write out any buffered lines. */
+    void flush();
+
+    /** Flush and close the file; further events throw. */
+    void close();
+
+    /** Buffered bytes before an automatic flush. */
+    static constexpr std::size_t kFlushBytes = 64 * 1024;
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+    std::string buffer_;
+    std::set<std::string> filter_;
+    std::map<std::string, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace emissary::stats
+
+#endif // EMISSARY_STATS_TRACE_SINK_HH

@@ -133,11 +133,41 @@ TEST(Table, RenderAligned)
     EXPECT_EQ(t.rowCount(), 2u);
 }
 
+TEST(Registry, AbsentCounterQueriesAreSafe)
+{
+    Registry reg;
+    EXPECT_EQ(reg.value("never.created"), 0u);
+    EXPECT_FALSE(reg.has("never.created"));
+    // Neither value() nor resetAll() may materialise counters.
+    reg.resetAll();
+    EXPECT_TRUE(reg.names().empty());
+    EXPECT_FALSE(reg.has("never.created"));
+}
+
 TEST(Table, Csv)
 {
     Table t({"a", "b"});
     t.addRow({"1", "2"});
     EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvCellQuoting)
+{
+    EXPECT_EQ(Table::csvCell("plain"), "plain");
+    EXPECT_EQ(Table::csvCell(""), "");
+    EXPECT_EQ(Table::csvCell("EMISSARY(N=2,P=1/32)"),
+              "\"EMISSARY(N=2,P=1/32)\"");
+    EXPECT_EQ(Table::csvCell("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(Table::csvCell("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Table, CsvEscapesPolicyNotation)
+{
+    Table t({"benchmark", "policy"});
+    t.addRow({"tomcat", "EMISSARY(N=2,P=1/32)"});
+    EXPECT_EQ(t.renderCsv(),
+              "benchmark,policy\n"
+              "tomcat,\"EMISSARY(N=2,P=1/32)\"\n");
 }
 
 TEST(Table, WidthMismatchThrows)

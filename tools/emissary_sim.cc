@@ -19,6 +19,8 @@
  *                --jobs 8
  */
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,9 +30,13 @@
 
 #include "core/experiment.hh"
 #include "core/grid.hh"
+#include "core/observability.hh"
 #include "core/simulator.hh"
 #include "core/threadpool.hh"
+#include "stats/json.hh"
+#include "stats/registry.hh"
 #include "stats/table.hh"
+#include "stats/trace_sink.hh"
 #include "trace/executor.hh"
 #include "trace/file.hh"
 #include "util/strutil.hh"
@@ -39,6 +45,28 @@ namespace
 {
 
 using namespace emissary;
+
+/** Strict unsigned parse: any non-digit (or overflow) is a usage
+ *  error, not a silent zero. */
+std::uint64_t
+parseU64(const std::string &flag, const char *text)
+{
+    const std::string value = text;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos ||
+        end != value.c_str() + value.size() || errno == ERANGE) {
+        std::fprintf(stderr,
+                     "%s: expected an unsigned decimal integer, "
+                     "got '%s'\n",
+                     flag.c_str(), text);
+        std::exit(2);
+    }
+    return parsed;
+}
 
 void
 usage(const char *argv0)
@@ -67,7 +95,15 @@ usage(const char *argv0)
         "  --bypass             low-priority lines bypass the L2\n"
         "  --reset N            clear priority bits every N instrs\n"
         "  --seed N             machine seed\n"
-        "  --csv                one-line CSV output\n",
+        "  --csv                one-line CSV output\n"
+        "  --stats-json FILE    write the run (or sweep) as JSON\n"
+        "  --sample-interval N  snapshot counters + P-bit occupancy\n"
+        "                       every N committed instructions\n"
+        "  --trace-out FILE     JSONL event trace of the measured\n"
+        "                       window\n"
+        "  --trace-categories A,B  emit only the listed categories\n"
+        "                       (default: all; see docs/"
+        "observability.md)\n",
         argv0);
 }
 
@@ -126,6 +162,27 @@ printMetrics(const core::Metrics &m, bool csv)
                 static_cast<unsigned long long>(m.priorityUpgrades));
 }
 
+/** One run as a standalone JSON document ("emissary.run.v1"). */
+stats::JsonValue
+runJson(const core::Metrics &m, const core::RunOptions &options,
+        const stats::Registry &registry,
+        const stats::Sampler &sampler, double wall_seconds)
+{
+    using stats::JsonValue;
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue("emissary.run.v1"));
+    doc.set("benchmark", JsonValue(m.benchmark));
+    doc.set("policy", JsonValue(m.policy));
+    doc.set("seed", JsonValue(options.seed));
+    doc.set("config", core::runOptionsJson(options));
+    doc.set("wall_seconds", JsonValue(wall_seconds));
+    doc.set("metrics", m.toJson());
+    doc.set("counters", core::registryJson(registry));
+    if (sampler.enabled())
+        doc.set("samples", sampler.toJson());
+    return doc;
+}
+
 } // namespace
 
 int
@@ -142,6 +199,10 @@ main(int argc, char **argv)
     std::uint64_t reset = 0;
     std::uint64_t jobs = 0;
     bool csv = false;
+    std::string stats_json_path;
+    std::string trace_out_path;
+    std::string trace_categories_csv;
+    std::uint64_t sample_interval = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -170,13 +231,21 @@ main(int argc, char **argv)
         } else if (arg == "--policies") {
             policies_csv = value();
         } else if (arg == "--jobs") {
-            jobs = std::strtoull(value(), nullptr, 10);
+            jobs = parseU64(arg, value());
         } else if (arg == "--l1i-policy") {
             machine_options.l1iPolicy = value();
         } else if (arg == "--instructions") {
-            instructions = std::strtoull(value(), nullptr, 10);
+            instructions = parseU64(arg, value());
         } else if (arg == "--warmup") {
-            warmup = std::strtoull(value(), nullptr, 10);
+            warmup = parseU64(arg, value());
+        } else if (arg == "--stats-json") {
+            stats_json_path = value();
+        } else if (arg == "--sample-interval") {
+            sample_interval = parseU64(arg, value());
+        } else if (arg == "--trace-out") {
+            trace_out_path = value();
+        } else if (arg == "--trace-categories") {
+            trace_categories_csv = value();
         } else if (arg == "--no-fdip") {
             machine_options.fdip = false;
         } else if (arg == "--no-nlp") {
@@ -188,10 +257,9 @@ main(int argc, char **argv)
         } else if (arg == "--bypass") {
             machine_options.bypassLowPriorityInst = true;
         } else if (arg == "--reset") {
-            reset = std::strtoull(value(), nullptr, 10);
+            reset = parseU64(arg, value());
         } else if (arg == "--seed") {
-            machine_options.seed =
-                std::strtoull(value(), nullptr, 10);
+            machine_options.seed = parseU64(arg, value());
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -222,12 +290,37 @@ main(int argc, char **argv)
         run_options.priorityResetInstructions = reset;
         run_options.seed = machine_options.seed;
 
+        // Observability attachments (single-run paths). Categories
+        // are validated up front so a typo is a usage error, not a
+        // silently empty trace.
+        std::vector<std::string> trace_categories;
+        for (const std::string &raw :
+             split(trace_categories_csv, ',')) {
+            const std::string name = trim(raw);
+            if (name.empty())
+                continue;
+            if (core::traceCategoryCounter(name).empty()) {
+                std::fprintf(stderr,
+                             "--trace-categories: unknown category "
+                             "'%s'\n",
+                             name.c_str());
+                return 2;
+            }
+            trace_categories.push_back(name);
+        }
+
         // Sweep mode: fan (benchmark x policy) out over the engine.
         if (!benchmarks_csv.empty() || !policies_csv.empty()) {
             if (!trace_path.empty() || !record_path.empty()) {
                 std::fprintf(stderr, "--benchmarks/--policies cannot "
                                      "be combined with --trace/"
                                      "--record\n");
+                return 2;
+            }
+            if (!trace_out_path.empty() || sample_interval > 0) {
+                std::fprintf(stderr,
+                             "--trace-out/--sample-interval apply to "
+                             "single runs, not sweeps\n");
                 return 2;
             }
             std::vector<trace::WorkloadProfile> workloads;
@@ -284,19 +377,39 @@ main(int argc, char **argv)
                         .render()
                         .c_str());
             }
+            if (!stats_json_path.empty())
+                core::writeSweepJson(stats_json_path, grid, results);
             return 0;
         }
 
-        // Single synthetic run with no recording: a 1 x 1 grid.
+        // Single synthetic run with no recording: one instrumented
+        // runPolicy call.
         if (trace_path.empty() && record_path.empty()) {
-            core::PolicyGrid grid;
-            grid.workloads = {trace::profileByName(benchmark)};
-            grid.runs.emplace_back(machine_options.l2Policy,
-                                   run_options);
-            core::ThreadPool pool(1);
-            const core::GridResults results =
-                core::runGrid(grid, pool);
-            printMetrics(results.at(0, 0), csv);
+            const trace::SyntheticProgram program(
+                trace::profileByName(benchmark));
+            core::RunInstrumentation instr;
+            instr.sampleInterval = sample_interval;
+            std::unique_ptr<stats::TraceSink> sink;
+            if (!trace_out_path.empty()) {
+                sink = std::make_unique<stats::TraceSink>(
+                    trace_out_path, trace_categories);
+                instr.traceSink = sink.get();
+            }
+            const core::Metrics m = core::runPolicy(
+                program,
+                replacement::PolicySpec::parse(
+                    machine_options.l2Policy),
+                replacement::PolicySpec::parse(
+                    run_options.l1iPolicy),
+                run_options, &instr);
+            if (sink)
+                sink->close();
+            printMetrics(m, csv);
+            if (!stats_json_path.empty())
+                stats::writeJsonFile(
+                    stats_json_path,
+                    runJson(m, run_options, instr.registry,
+                            instr.sampler, instr.wallSeconds));
             return 0;
         }
 
@@ -329,13 +442,35 @@ main(int argc, char **argv)
         config.measureInstructions = instructions;
         config.warmupInstructions = run_options.warmupInstructions;
         config.priorityResetInstructions = reset;
+        config.sampleInterval = sample_interval;
 
         core::Simulator simulator(config, *source);
+        std::unique_ptr<stats::TraceSink> sink;
+        if (!trace_out_path.empty()) {
+            sink = std::make_unique<stats::TraceSink>(
+                trace_out_path, trace_categories);
+            simulator.setTraceSink(sink.get());
+        }
+        const auto run_start = std::chrono::steady_clock::now();
         const core::Metrics m = simulator.run();
+        const double wall_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - run_start)
+                .count();
+        if (sink)
+            sink->close();
         if (writer)
             writer->finish();
 
         printMetrics(m, csv);
+        if (!stats_json_path.empty()) {
+            stats::Registry registry;
+            simulator.exportRegistry(registry);
+            stats::writeJsonFile(
+                stats_json_path,
+                runJson(m, run_options, registry,
+                        simulator.sampler(), wall_seconds));
+        }
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * json_check: validate an emissary JSON artifact (or any JSON file).
+ *
+ * Parses the file with the same parser the test-suite round-trips
+ * use, and optionally asserts dotted keys exist:
+ *
+ *   json_check out.json
+ *   json_check out.json metrics.ipc counters.l2.inst_misses
+ *
+ * Key paths descend object members; a path component that contains
+ * dots is also tried verbatim (registry counter names like
+ * "l2.inst_misses" are single keys). Exit 0 when the file parses and
+ * every requested key resolves; 1 otherwise, with the reason on
+ * stderr. CI uses this to smoke-check --stats-json output.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stats/json.hh"
+
+namespace
+{
+
+using emissary::stats::JsonValue;
+
+/** Resolve @p path ("a.b.c") against @p root, trying the longest
+ *  verbatim key first at each level. */
+const JsonValue *
+resolve(const JsonValue &root, const std::string &path)
+{
+    if (const JsonValue *direct = root.find(path))
+        return direct;
+    const std::size_t dot = path.find('.');
+    if (dot == std::string::npos)
+        return nullptr;
+    // Try every split point: "counters.l2.inst_misses" first tries
+    // member "counters" with the rest, then "counters.l2", ...
+    for (std::size_t at = dot; at != std::string::npos;
+         at = path.find('.', at + 1)) {
+        const JsonValue *child = root.find(path.substr(0, at));
+        if (child && child->type() == JsonValue::Type::Object) {
+            if (const JsonValue *hit =
+                    resolve(*child, path.substr(at + 1)))
+                return hit;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s FILE.json [key.path ...]\n", argv[0]);
+        return 1;
+    }
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "json_check: cannot open %s\n", argv[1]);
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    JsonValue doc;
+    try {
+        doc = JsonValue::parse(text.str());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "json_check: %s: %s\n", argv[1],
+                     e.what());
+        return 1;
+    }
+
+    for (int i = 2; i < argc; ++i) {
+        if (doc.type() != JsonValue::Type::Object ||
+            !resolve(doc, argv[i])) {
+            std::fprintf(stderr, "json_check: %s: missing key %s\n",
+                         argv[1], argv[i]);
+            return 1;
+        }
+    }
+    return 0;
+}
