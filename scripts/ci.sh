@@ -5,15 +5,21 @@
 #   1. Release build + full test suite
 #   2. Observability smoke: --stats-json / --sample-interval /
 #      --trace-out output must parse and carry the expected keys
-#   3. AddressSanitizer build + full test suite
-#   4. ThreadSanitizer build + the "threaded" test label
+#   3. Throughput smoke: a short policy sweep that prints Minst/s;
+#      the numbers are informational — the stage gates only on the
+#      bench exiting cleanly
+#   4. AddressSanitizer build + full test suite
+#   5. ThreadSanitizer build + the "threaded" test label
 #
-# Stages can be selected: ./scripts/ci.sh release asan tsan smoke
+# An optional "lto" stage rebuilds Release with EMISSARY_LTO=ON and
+# reruns the suite (the GitHub workflow runs it as its own job).
+#
+# Stages can be selected: ./scripts/ci.sh release smoke throughput
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${CI_JOBS:-$(nproc)}"
-STAGES="${*:-release smoke asan tsan}"
+STAGES="${*:-release smoke throughput asan tsan}"
 
 run_stage() { echo; echo "=== ci: $* ==="; }
 
@@ -58,6 +64,31 @@ for stage in $STAGES; do
         fi
         rm -rf "$out"
         echo "smoke OK"
+        ;;
+    throughput)
+        run_stage "throughput smoke (numbers are non-gating)"
+        [ -x build-ci-release/bench/bench_fig5_policy_sweep ] ||
+            { echo "run the release stage first" >&2; exit 1; }
+        # Short window, three workloads, one worker: finishes in a few
+        # seconds anywhere. Only a crash or a malformed table fails
+        # the stage; the throughput itself is tracked in
+        # results/sweep_throughput.txt, not gated here.
+        out="$(mktemp)"
+        EMISSARY_JOBS=1 \
+        EMISSARY_BENCHMARKS=tomcat,kafka,verilator \
+        EMISSARY_BENCH_INSTRUCTIONS=200000 \
+            build-ci-release/bench/bench_fig5_policy_sweep >"$out"
+        grep -E 'throughput \((runs/sec|Minst/s)\)' "$out" ||
+            { echo "no throughput rows in sweep output" >&2; exit 1; }
+        rm -f "$out"
+        echo "throughput smoke OK"
+        ;;
+    lto)
+        run_stage "Release + LTO build + tests"
+        CTEST_ARGS=()
+        configure_build_test build-ci-lto \
+            -DCMAKE_BUILD_TYPE=Release \
+            -DEMISSARY_LTO=ON
         ;;
     asan)
         run_stage "AddressSanitizer build + tests"

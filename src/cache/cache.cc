@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "replacement/emissary.hh"
+#include "replacement/tplru.hh"
 #include "util/bitutil.hh"
 
 namespace emissary::cache
@@ -24,8 +25,89 @@ Cache::Cache(const Config &config)
                                     ": set count must be a power of 2");
     setShift_ = floorLog2(sets_);
     lines_.assign(std::size_t{sets_} * config_.ways, CacheLine{});
+    tags_.assign(std::size_t{sets_} * config_.ways, kInvalidTag);
     policy_ = replacement::makePolicy(spec_, sets_, config_.ways,
                                       config_.seed ^ 0x9E3779B9ULL);
+    switch (spec_.family) {
+      case replacement::PolicyFamily::TreePlru:
+        hotPolicy_ = HotPolicy::TreePlru;
+        treePlru_ =
+            static_cast<replacement::TreePlru *>(policy_.get());
+        break;
+      case replacement::PolicyFamily::EmissaryP:
+        hotPolicy_ = HotPolicy::Emissary;
+        emissary_ =
+            static_cast<replacement::EmissaryPolicy *>(policy_.get());
+        break;
+      default:
+        hotPolicy_ = HotPolicy::Generic;
+        break;
+    }
+}
+
+void
+Cache::policyHit(unsigned set, unsigned way,
+                 const replacement::LineInfo &info)
+{
+    switch (hotPolicy_) {
+      case HotPolicy::TreePlru:
+        treePlru_->replacement::TreePlru::onHit(set, way, info);
+        break;
+      case HotPolicy::Emissary:
+        emissary_->replacement::EmissaryPolicy::onHit(set, way, info);
+        break;
+      default:
+        policy_->onHit(set, way, info);
+        break;
+    }
+}
+
+void
+Cache::policyInsert(unsigned set, unsigned way,
+                    const replacement::LineInfo &info)
+{
+    switch (hotPolicy_) {
+      case HotPolicy::TreePlru:
+        treePlru_->replacement::TreePlru::onInsert(set, way, info);
+        break;
+      case HotPolicy::Emissary:
+        emissary_->replacement::EmissaryPolicy::onInsert(set, way,
+                                                         info);
+        break;
+      default:
+        policy_->onInsert(set, way, info);
+        break;
+    }
+}
+
+void
+Cache::policyInvalidate(unsigned set, unsigned way)
+{
+    switch (hotPolicy_) {
+      case HotPolicy::TreePlru:
+        treePlru_->replacement::TreePlru::onInvalidate(set, way);
+        break;
+      case HotPolicy::Emissary:
+        emissary_->replacement::EmissaryPolicy::onInvalidate(set, way);
+        break;
+      default:
+        policy_->onInvalidate(set, way);
+        break;
+    }
+}
+
+unsigned
+Cache::policySelectVictim(unsigned set)
+{
+    switch (hotPolicy_) {
+      case HotPolicy::TreePlru:
+        return treePlru_->replacement::TreePlru::selectVictim(set);
+      case HotPolicy::Emissary:
+        return emissary_->replacement::EmissaryPolicy::selectVictim(
+            set);
+      default:
+        return policy_->selectVictim(set);
+    }
 }
 
 unsigned
@@ -49,9 +131,12 @@ Cache::lineAt(unsigned set, unsigned way) const
 int
 Cache::findWay(unsigned set, std::uint64_t tag) const
 {
+    // Contiguous per-set tag lane: 16 ways compare within two cache
+    // lines. Invalid ways hold kInvalidTag and can never match.
+    const std::uint64_t *tags =
+        tags_.data() + std::size_t{set} * config_.ways;
     for (unsigned w = 0; w < config_.ways; ++w) {
-        const CacheLine &line = lineAt(set, w);
-        if (line.valid && line.tag == tag)
+        if (tags[w] == tag)
             return static_cast<int>(w);
     }
     return -1;
@@ -84,7 +169,7 @@ Cache::touch(std::uint64_t line_addr)
     replacement::LineInfo info;
     info.isInstruction = line.isInstruction;
     info.highPriority = line.priority;
-    policy_->onHit(set, static_cast<unsigned>(way), info);
+    policyHit(set, static_cast<unsigned>(way), info);
 }
 
 Cache::Eviction
@@ -96,20 +181,14 @@ Cache::insert(std::uint64_t line_addr, const replacement::LineInfo &info,
     assert(findWay(set, tag) < 0 && "double insert");
 
     Eviction evicted;
-    int way = -1;
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        if (!lineAt(set, w).valid) {
-            way = static_cast<int>(w);
-            break;
-        }
-    }
+    int way = findWay(set, kInvalidTag);
     if (way < 0) {
-        way = static_cast<int>(policy_->selectVictim(set));
+        way = static_cast<int>(policySelectVictim(set));
         CacheLine &victim = lineAt(set, static_cast<unsigned>(way));
         evicted.valid = true;
         evicted.lineAddr = (victim.tag << setShift_) | set;
         evicted.line = victim;
-        policy_->onInvalidate(set, static_cast<unsigned>(way));
+        policyInvalidate(set, static_cast<unsigned>(way));
         victim = CacheLine{};
     }
 
@@ -121,7 +200,9 @@ Cache::insert(std::uint64_t line_addr, const replacement::LineInfo &info,
     line.priority = info.highPriority;
     line.sfl = sfl;
     line.prefetched = prefetched;
-    policy_->onInsert(set, static_cast<unsigned>(way), info);
+    tags_[std::size_t{set} * config_.ways +
+          static_cast<unsigned>(way)] = tag;
+    policyInsert(set, static_cast<unsigned>(way), info);
     return evicted;
 }
 
@@ -137,8 +218,10 @@ Cache::invalidate(std::uint64_t line_addr)
     out.valid = true;
     out.lineAddr = line_addr;
     out.line = line;
-    policy_->onInvalidate(set, static_cast<unsigned>(way));
+    policyInvalidate(set, static_cast<unsigned>(way));
     line = CacheLine{};
+    tags_[std::size_t{set} * config_.ways +
+          static_cast<unsigned>(way)] = kInvalidTag;
     return out;
 }
 

@@ -20,6 +20,12 @@
 #include "stats/histogram.hh"
 #include "util/rng.hh"
 
+namespace emissary::replacement
+{
+class TreePlru;
+class EmissaryPolicy;
+} // namespace emissary::replacement
+
 namespace emissary::cache
 {
 
@@ -138,16 +144,53 @@ class Cache
     Rng &selectionRng() { return rng_; }
 
   private:
+    /**
+     * Tag value stored for invalid ways in the SoA tag array. Real
+     * tags are line_addr >> log2(sets) with line_addr < 2^58, so
+     * all-ones can never collide with a resident line.
+     */
+    static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
+
+    /** Concrete policy type behind policy_, resolved once at
+     *  construction so the per-access hit/insert/victim dispatch for
+     *  the dominant TPLRU / EMISSARY sweeps is a switch plus a direct
+     *  (qualified, non-virtual) call instead of virtual dispatch. */
+    enum class HotPolicy : std::uint8_t
+    {
+        TreePlru,
+        Emissary,
+        Generic,
+    };
+
     CacheLine &lineAt(unsigned set, unsigned way);
     const CacheLine &lineAt(unsigned set, unsigned way) const;
     int findWay(unsigned set, std::uint64_t tag) const;
+
+    // Devirtualized policy notifications (cache.cc).
+    void policyHit(unsigned set, unsigned way,
+                   const replacement::LineInfo &info);
+    void policyInsert(unsigned set, unsigned way,
+                      const replacement::LineInfo &info);
+    void policyInvalidate(unsigned set, unsigned way);
+    unsigned policySelectVictim(unsigned set);
 
     Config config_;
     replacement::PolicySpec spec_;
     unsigned sets_;
     unsigned setShift_;
+    /**
+     * Lookup path, struct-of-arrays: per-set contiguous tags (invalid
+     * ways hold kInvalidTag), so findWay streams through one or two
+     * cache lines instead of striding over CacheLine structs.
+     * Invariant: tags_[set*ways+w] mirrors lines_[set*ways+w]
+     * (tag when valid, kInvalidTag otherwise).
+     */
+    std::vector<std::uint64_t> tags_;
     std::vector<CacheLine> lines_;
     std::unique_ptr<replacement::ReplacementPolicy> policy_;
+    HotPolicy hotPolicy_ = HotPolicy::Generic;
+    replacement::TreePlru *treePlru_ = nullptr;
+    replacement::EmissaryPolicy *emissary_ = nullptr;
     Rng rng_;
 };
 

@@ -32,12 +32,21 @@ runPolicy(const trace::SyntheticProgram &program,
     return runPolicy(program, l2_spec, l1i_spec, options, nullptr);
 }
 
+namespace
+{
+
+/**
+ * Shared body of the live and replay overloads: configure the
+ * machine, run the simulator over @p source, and harvest
+ * instrumentation. codeFootprintLines is filled by the caller —
+ * it comes from the executor (live) or the cursor (replay).
+ */
 Metrics
-runPolicy(const trace::SyntheticProgram &program,
-          const replacement::PolicySpec &l2_spec,
-          const replacement::PolicySpec &l1i_spec,
-          const RunOptions &options,
-          RunInstrumentation *instrumentation)
+runOverSource(trace::TraceSource &source,
+              const replacement::PolicySpec &l2_spec,
+              const replacement::PolicySpec &l1i_spec,
+              const RunOptions &options,
+              RunInstrumentation *instrumentation)
 {
     MachineOptions machine_options;
     machine_options.l2Spec = l2_spec;
@@ -61,10 +70,7 @@ runPolicy(const trace::SyntheticProgram &program,
     if (instrumentation)
         sim_config.sampleInterval = instrumentation->sampleInterval;
 
-    // A fresh executor with the profile's own seed: every policy run
-    // for this benchmark replays the identical committed path.
-    trace::SyntheticExecutor executor(program);
-    Simulator simulator(sim_config, executor);
+    Simulator simulator(sim_config, source);
     if (instrumentation && instrumentation->traceSink)
         simulator.setTraceSink(instrumentation->traceSink);
 
@@ -72,13 +78,44 @@ runPolicy(const trace::SyntheticProgram &program,
     Metrics metrics = simulator.run();
     const auto stop = std::chrono::steady_clock::now();
 
-    metrics.codeFootprintLines = executor.uniqueCodeLines();
     if (instrumentation) {
         simulator.exportRegistry(instrumentation->registry);
         instrumentation->sampler = simulator.sampler();
         instrumentation->wallSeconds =
             std::chrono::duration<double>(stop - start).count();
     }
+    return metrics;
+}
+
+} // namespace
+
+Metrics
+runPolicy(const trace::SyntheticProgram &program,
+          const replacement::PolicySpec &l2_spec,
+          const replacement::PolicySpec &l1i_spec,
+          const RunOptions &options,
+          RunInstrumentation *instrumentation)
+{
+    // A fresh executor with the profile's own seed: every policy run
+    // for this benchmark replays the identical committed path.
+    trace::SyntheticExecutor executor(program);
+    Metrics metrics = runOverSource(executor, l2_spec, l1i_spec,
+                                    options, instrumentation);
+    metrics.codeFootprintLines = executor.uniqueCodeLines();
+    return metrics;
+}
+
+Metrics
+runPolicy(std::shared_ptr<const trace::RecordBuffer> buffer,
+          const replacement::PolicySpec &l2_spec,
+          const replacement::PolicySpec &l1i_spec,
+          const RunOptions &options,
+          RunInstrumentation *instrumentation)
+{
+    trace::ReplayCursor cursor(std::move(buffer));
+    Metrics metrics = runOverSource(cursor, l2_spec, l1i_spec,
+                                    options, instrumentation);
+    metrics.codeFootprintLines = cursor.uniqueCodeLines();
     return metrics;
 }
 

@@ -11,6 +11,7 @@
 #define EMISSARY_CORE_EXPERIMENT_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "stats/sampler.hh"
 #include "trace/profile.hh"
 #include "trace/program.hh"
+#include "trace/replay.hh"
 
 namespace emissary::stats
 {
@@ -97,6 +99,19 @@ Metrics runPolicy(const trace::SyntheticProgram &program,
                   const replacement::PolicySpec &l1i_spec,
                   const RunOptions &options,
                   RunInstrumentation *instrumentation);
+
+/**
+ * Replay variant: feed the run from a pre-generated RecordBuffer
+ * instead of a live SyntheticExecutor. Produces bit-identical Metrics
+ * to the live overloads for the same workload and options
+ * (tests/test_replay.cpp); the grid engine uses it so a sweep
+ * generates each workload's stream once instead of once per cell.
+ */
+Metrics runPolicy(std::shared_ptr<const trace::RecordBuffer> buffer,
+                  const replacement::PolicySpec &l2_spec,
+                  const replacement::PolicySpec &l1i_spec,
+                  const RunOptions &options,
+                  RunInstrumentation *instrumentation = nullptr);
 
 /** Speedup of @p test over @p base in percent (paper convention). */
 double speedupPercent(const Metrics &base, const Metrics &test);

@@ -1,5 +1,6 @@
 #include "core/grid.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <mutex>
@@ -8,6 +9,7 @@
 
 #include "core/observability.hh"
 #include "trace/program.hh"
+#include "trace/replay.hh"
 #include "util/strutil.hh"
 
 namespace emissary::core
@@ -22,6 +24,21 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+/**
+ * Records one replay buffer must hold to cover every run spec of the
+ * grid: the largest warmup+measure window, plus the cursor's
+ * lookahead slack for frontend overfetch.
+ */
+std::uint64_t
+recordsNeeded(const PolicyGrid &grid)
+{
+    std::uint64_t window = 0;
+    for (const RunSpec &run : grid.runs)
+        window = std::max(window, run.options.warmupInstructions +
+                                      run.options.measureInstructions);
+    return trace::RecordBuffer::recordsForWindow(window);
 }
 
 } // namespace
@@ -73,6 +90,25 @@ GridResults::GridResults(std::size_t workloads, std::size_t runs)
                               std::vector<double>(runs, 0.0));
 }
 
+std::uint64_t
+GridResults::totalInstructions() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &row : cells_)
+        for (const Metrics &metrics : row)
+            sum += metrics.instructions;
+    return sum;
+}
+
+double
+GridResults::instructionsPerSecond() const
+{
+    return timing_.totalSeconds > 0.0
+               ? static_cast<double>(totalInstructions()) /
+                     timing_.totalSeconds
+               : 0.0;
+}
+
 stats::Table
 GridResults::timingTable(
     const std::vector<trace::WorkloadProfile> &workloads) const
@@ -95,6 +131,8 @@ GridResults::timingTable(
                   formatDouble(timing_.totalSeconds, 2)});
     table.addRow({"throughput (runs/sec)", "-",
                   formatDouble(timing_.runsPerSecond(), 2)});
+    table.addRow({"throughput (Minst/s)", "-",
+                  formatDouble(instructionsPerSecond() / 1e6, 2)});
     table.addRow({"parallel speedup", "-",
                   formatDouble(timing_.totalSeconds > 0.0
                                    ? timing_.serialSeconds() /
@@ -128,18 +166,44 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
     }
 
     // One immutable program per workload, generated in parallel and
-    // then shared by every policy run of that workload.
+    // then shared by every policy run of that workload. Within the
+    // replay budget, the workload's committed stream is also packed
+    // once into a RecordBuffer so every policy cell replays it
+    // instead of re-running the synthetic executor; workloads past
+    // the budget fall back to live generation per cell, and a cursor
+    // that outruns its buffer continues from the buffer's tail
+    // executor snapshot. Either way the Metrics are bit-identical
+    // (tests/test_replay.cpp).
+    const std::uint64_t budget_bytes =
+        envU64("EMISSARY_REPLAY_BUDGET_MB", 1024) * 1024 * 1024;
+    const std::uint64_t records = recordsNeeded(grid);
+    const std::uint64_t bytes_per_buffer =
+        records * trace::RecordBuffer::kBytesPerRecord;
+    std::uint64_t replayable = 0;
+    if (bytes_per_buffer > 0)
+        replayable = std::min<std::uint64_t>(
+            grid.workloads.size(), budget_bytes / bytes_per_buffer);
+
     std::vector<std::unique_ptr<trace::SyntheticProgram>> programs(
+        grid.workloads.size());
+    std::vector<std::shared_ptr<const trace::RecordBuffer>> buffers(
         grid.workloads.size());
     {
         std::vector<std::future<void>> built;
         built.reserve(grid.workloads.size());
-        for (std::size_t w = 0; w < grid.workloads.size(); ++w)
-            built.push_back(pool.submit([&grid, &programs, w]() {
-                programs[w] =
-                    std::make_unique<trace::SyntheticProgram>(
-                        grid.workloads[w]);
-            }));
+        for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+            const bool replay = w < replayable;
+            built.push_back(pool.submit(
+                [&grid, &programs, &buffers, records, replay, w]() {
+                    programs[w] =
+                        std::make_unique<trace::SyntheticProgram>(
+                            grid.workloads[w]);
+                    if (replay)
+                        buffers[w] = std::make_shared<
+                            const trace::RecordBuffer>(*programs[w],
+                                                       records);
+                }));
+        }
         for (auto &future : built)
             future.get();
     }
@@ -154,13 +218,18 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
             cells.push_back(pool.submit([&, w, r]() {
                 const auto cell_start =
                     std::chrono::steady_clock::now();
-                // Each cell owns its executor, simulator and seeded
+                // Each cell owns its source, simulator and seeded
                 // RNGs; it writes only its own result slot, so no
                 // locking — and completion order cannot reorder or
                 // perturb the results.
                 results.cells_[w][r] =
-                    runPolicy(*programs[w], l2_specs[r],
-                              l1i_specs[r], grid.runs[r].options);
+                    buffers[w]
+                        ? runPolicy(buffers[w], l2_specs[r],
+                                    l1i_specs[r],
+                                    grid.runs[r].options)
+                        : runPolicy(*programs[w], l2_specs[r],
+                                    l1i_specs[r],
+                                    grid.runs[r].options);
                 results.timing_.runSeconds[w][r] =
                     secondsSince(cell_start);
                 if (progress) {
@@ -238,6 +307,9 @@ sweepJson(const PolicyGrid &grid, const GridResults &results)
                JsonValue(results.timing().serialSeconds()));
     timing.set("runs_per_second",
                JsonValue(results.timing().runsPerSecond()));
+    timing.set("instructions", JsonValue(results.totalInstructions()));
+    timing.set("instructions_per_second",
+               JsonValue(results.instructionsPerSecond()));
     doc.set("timing", std::move(timing));
     return doc;
 }

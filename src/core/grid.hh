@@ -14,6 +14,13 @@
  *
  * Policy strings are parsed once per grid (not once per run) and the
  * parsed specs shared read-only by every workload's cell.
+ *
+ * Within the EMISSARY_REPLAY_BUDGET_MB memory budget (default 1024,
+ * 0 disables), each workload's committed stream is generated once
+ * into an immutable trace::RecordBuffer shared by all of its cells;
+ * replayed cells produce bit-identical Metrics to live generation,
+ * so the sweep costs O(workloads) synthetic execution instead of
+ * O(workloads x policies). See docs/performance.md.
  */
 
 #ifndef EMISSARY_CORE_GRID_HH
@@ -113,10 +120,17 @@ class GridResults
 
     const GridTiming &timing() const { return timing_; }
 
+    /** Committed (measured-window) instructions summed over every
+     *  cell of the grid. */
+    std::uint64_t totalInstructions() const;
+
+    /** Committed instructions simulated per wall-clock second. */
+    double instructionsPerSecond() const;
+
     /**
      * Timing rendered through the stats table formatter: one row per
-     * workload (summed across its runs) plus a total row with
-     * achieved runs/sec and the parallel speedup over the serial
+     * workload (summed across its runs) plus total rows with achieved
+     * runs/sec, Minst/s and the parallel speedup over the serial
      * cell-time sum.
      */
     stats::Table timingTable(

@@ -30,7 +30,7 @@ FrontEnd::buildBlock()
     std::uint64_t last_line = ~std::uint64_t{0};
     while (true) {
         core::DynInst inst;
-        inst.rec = source_.next();
+        inst.rec = nextRecord();
         inst.seq = ++seq_;
 
         const std::uint64_t line = inst.rec.pc >> kLineShift;

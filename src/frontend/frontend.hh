@@ -20,6 +20,7 @@
 #ifndef EMISSARY_FRONTEND_FRONTEND_HH
 #define EMISSARY_FRONTEND_FRONTEND_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -137,6 +138,22 @@ class FrontEnd
     Tage &tage() { return tage_; }
 
   private:
+    /** Records pulled from the source per batched fill() call. The
+     *  BPU consumes from this local buffer, so the per-instruction
+     *  virtual TraceSource::next() dispatch is paid once per batch. */
+    static constexpr std::size_t kFeedBatch = 256;
+
+    /** Next committed record, refilling the feed buffer as needed. */
+    const trace::TraceRecord &
+    nextRecord()
+    {
+        if (feedPos_ == kFeedBatch) {
+            source_.fill(feed_.data(), kFeedBatch);
+            feedPos_ = 0;
+        }
+        return feed_[feedPos_++];
+    }
+
     /** Pull trace records to build the next dynamic basic block. */
     FtqEntry buildBlock();
 
@@ -155,6 +172,9 @@ class FrontEnd
     Tage tage_;
     Ittage ittage_;
     ReturnAddressStack ras_;
+
+    std::array<trace::TraceRecord, kFeedBatch> feed_;
+    std::size_t feedPos_ = kFeedBatch;  ///< Empty until first refill.
 
     std::deque<FtqEntry> ftq_;
     unsigned ftqInstrCount_ = 0;

@@ -29,8 +29,9 @@
 namespace emissary::replacement
 {
 
-/** EMISSARY bimodal treatment P(N). */
-class EmissaryPolicy : public ReplacementPolicy
+/** EMISSARY bimodal treatment P(N).
+ *  Sealed: Cache devirtualizes its per-access notifications. */
+class EmissaryPolicy final : public ReplacementPolicy
 {
   public:
     /**

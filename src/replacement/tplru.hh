@@ -84,8 +84,9 @@ class PlruTree
     std::vector<std::uint8_t> bits_;  ///< ways-1 nodes, heap order.
 };
 
-/** Plain TPLRU replacement policy (the TPLRU + FDIP baseline). */
-class TreePlru : public ReplacementPolicy
+/** Plain TPLRU replacement policy (the TPLRU + FDIP baseline).
+ *  Sealed: Cache devirtualizes its per-access notifications. */
+class TreePlru final : public ReplacementPolicy
 {
   public:
     TreePlru(unsigned num_sets, unsigned num_ways,

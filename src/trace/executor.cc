@@ -140,6 +140,19 @@ SyntheticExecutor::dataAddress(std::uint64_t pc)
 TraceRecord
 SyntheticExecutor::next()
 {
+    return produce();
+}
+
+void
+SyntheticExecutor::fill(TraceRecord *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = produce();
+}
+
+TraceRecord
+SyntheticExecutor::produce()
+{
     Frame &frame = stack_.back();
     const BasicBlock &block = currentBlock();
     const std::uint64_t pc = currentPc();

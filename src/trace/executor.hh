@@ -35,6 +35,7 @@ class SyntheticExecutor : public TraceSource
                                std::uint64_t seed = 0);
 
     TraceRecord next() override;
+    void fill(TraceRecord *out, std::size_t n) override;
     const char *name() const override;
 
     /** Unique 64 B instruction lines touched so far (Fig. 4). */
@@ -72,6 +73,9 @@ class SyntheticExecutor : public TraceSource
 
     const BasicBlock &currentBlock() const;
     std::uint64_t currentPc() const;
+
+    /** Non-virtual body of next(); fill() loops it directly. */
+    TraceRecord produce();
 
     /** Generate a data address for the memory access at @p pc. */
     std::uint64_t dataAddress(std::uint64_t pc);

@@ -1,5 +1,6 @@
 #include "trace/file.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -124,6 +125,25 @@ FileTraceSource::next()
         ++wraps_;
     }
     return rec;
+}
+
+void
+FileTraceSource::fill(TraceRecord *out, std::size_t n)
+{
+    std::size_t i = 0;
+    while (i < n) {
+        const std::size_t run =
+            std::min(n - i, records_.size() - pos_);
+        std::copy_n(records_.begin() +
+                        static_cast<std::ptrdiff_t>(pos_),
+                    run, out + i);
+        i += run;
+        pos_ += run;
+        if (pos_ == records_.size()) {
+            pos_ = 0;
+            ++wraps_;
+        }
+    }
 }
 
 } // namespace emissary::trace

@@ -66,6 +66,7 @@ class FileTraceSource : public TraceSource
     explicit FileTraceSource(const std::string &path);
 
     TraceRecord next() override;
+    void fill(TraceRecord *out, std::size_t n) override;
     const char *name() const override { return name_.c_str(); }
 
     std::uint64_t recordCount() const { return records_.size(); }

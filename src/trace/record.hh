@@ -11,6 +11,7 @@
 #ifndef EMISSARY_TRACE_RECORD_HH
 #define EMISSARY_TRACE_RECORD_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace emissary::trace
@@ -93,6 +94,23 @@ class TraceSource
 
     /** Produce the next committed instruction. */
     virtual TraceRecord next() = 0;
+
+    /**
+     * Produce the next @p n committed instructions into @p out.
+     *
+     * The front-end consumes the stream through this batched call so
+     * the per-instruction virtual next() dispatch is amortized over a
+     * whole batch; sources with a cheap bulk path (SyntheticExecutor,
+     * ReplayCursor, FileTraceSource) override it with a tight
+     * non-virtual loop. The stream is infinite, so all @p n records
+     * are always produced.
+     */
+    virtual void
+    fill(TraceRecord *out, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = next();
+    }
 
     /** Human-readable workload name for reports. */
     virtual const char *name() const = 0;

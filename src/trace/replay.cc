@@ -1,0 +1,116 @@
+#include "trace/replay.hh"
+
+#include <cassert>
+
+namespace emissary::trace
+{
+
+RecordBuffer::RecordBuffer(const SyntheticProgram &program,
+                           std::uint64_t records)
+    : name_(program.profile().name)
+{
+    pc_.reserve(records);
+    nextPc_.reserve(records);
+    memAddr_.reserve(records);
+    clsTaken_.reserve(records);
+
+    const std::uint64_t code_lines =
+        (program.staticCodeBytes() + 63) / 64 + 1;
+    codeBitmapWords_ = (code_lines + 63) / 64;
+
+    auto generator = std::make_unique<SyntheticExecutor>(program);
+    constexpr std::size_t kChunk = 4096;
+    TraceRecord chunk[kChunk];
+    std::uint64_t remaining = records;
+    while (remaining > 0) {
+        const std::size_t n = static_cast<std::size_t>(
+            remaining < kChunk ? remaining : kChunk);
+        generator->fill(chunk, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const TraceRecord &rec = chunk[i];
+            pc_.push_back(rec.pc);
+            nextPc_.push_back(rec.nextPc);
+            memAddr_.push_back(rec.memAddr);
+            assert(static_cast<std::uint8_t>(rec.cls) < 0x80);
+            clsTaken_.push_back(
+                static_cast<std::uint8_t>(rec.cls) |
+                (rec.taken ? std::uint8_t{0x80} : std::uint8_t{0}));
+        }
+        remaining -= n;
+    }
+    tail_ = std::move(generator);
+}
+
+ReplayCursor::ReplayCursor(std::shared_ptr<const RecordBuffer> buffer)
+    : buffer_(std::move(buffer)),
+      touchedBitmap_(buffer_->codeBitmapWords(), 0)
+{
+}
+
+const char *
+ReplayCursor::name() const
+{
+    return buffer_->name().c_str();
+}
+
+void
+ReplayCursor::touchCode(std::uint64_t pc)
+{
+    const std::uint64_t line =
+        (pc - SyntheticProgram::kCodeBase) / 64;
+    const std::uint64_t word = line / 64;
+    const std::uint64_t bit = std::uint64_t{1} << (line % 64);
+    if (!(touchedBitmap_[word] & bit)) {
+        touchedBitmap_[word] |= bit;
+        ++touchedLines_;
+    }
+}
+
+SyntheticExecutor &
+ReplayCursor::tail()
+{
+    if (!tailExec_) {
+        // Overran the buffer: continue the stream from the generator
+        // snapshot. The snapshot's footprint bitmap already covers
+        // every buffered record, so the count hands over exactly.
+        tailExec_ = std::make_unique<SyntheticExecutor>(
+            buffer_->tailExecutor());
+    }
+    return *tailExec_;
+}
+
+std::uint64_t
+ReplayCursor::uniqueCodeLines() const
+{
+    return tailExec_ ? tailExec_->uniqueCodeLines() : touchedLines_;
+}
+
+TraceRecord
+ReplayCursor::next()
+{
+    if (pos_ < buffer_->size()) {
+        const TraceRecord rec = buffer_->record(pos_++);
+        touchCode(rec.pc);
+        return rec;
+    }
+    ++pos_;
+    return tail().next();
+}
+
+void
+ReplayCursor::fill(TraceRecord *out, std::size_t n)
+{
+    std::size_t i = 0;
+    const std::uint64_t avail = buffer_->size() - std::min(
+        pos_, buffer_->size());
+    const std::size_t from_buffer = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, avail));
+    for (; i < from_buffer; ++i, ++pos_) {
+        out[i] = buffer_->record(pos_);
+        touchCode(out[i].pc);
+    }
+    for (; i < n; ++i, ++pos_)
+        out[i] = tail().next();
+}
+
+} // namespace emissary::trace

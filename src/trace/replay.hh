@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Trace replay cache: generate a workload's committed-path stream
+ * once, then replay it under every policy of a sweep.
+ *
+ * The paper's methodology replays the *identical* committed-path
+ * stream under every L2 policy (§6 — Algorithm 1 changes replacement
+ * only), so a (workloads x policies) grid re-executing the synthetic
+ * program per cell does O(workloads x policies) redundant work. A
+ * RecordBuffer is the packed, immutable image of one workload's
+ * stream; ReplayCursor is a cheap, non-virtual decoder over it that
+ * any number of policy runs (and worker threads) can replay
+ * concurrently through their own cursors.
+ *
+ * Determinism contract: a run fed by a ReplayCursor produces
+ * bit-identical Metrics to the same run fed by a live
+ * SyntheticExecutor (tests/test_replay.cpp). The buffer therefore
+ * also carries what runPolicy reads back from the source after the
+ * run — the workload name and enough state to continue the
+ * unique-code-line footprint count — and a snapshot of the generating
+ * executor at end-of-buffer, so a cursor that (unexpectedly) runs off
+ * the end continues the live stream exactly where generation stopped
+ * instead of replaying from record zero.
+ */
+
+#ifndef EMISSARY_TRACE_REPLAY_HH
+#define EMISSARY_TRACE_REPLAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/executor.hh"
+#include "trace/program.hh"
+#include "trace/record.hh"
+
+namespace emissary::trace
+{
+
+/**
+ * Packed, immutable committed-path stream of one workload.
+ *
+ * Storage is struct-of-arrays: three 64-bit lanes (pc, nextPc,
+ * memAddr) plus one byte packing the instruction class with the
+ * branch outcome — 25 bytes per record against the 40 of a padded
+ * TraceRecord[] — so sequential decode streams through memory.
+ */
+class RecordBuffer
+{
+  public:
+    /** Packed bytes per buffered record (capacity planning). */
+    static constexpr std::uint64_t kBytesPerRecord = 3 * 8 + 1;
+
+    /**
+     * Records the front-end can read past the committed-instruction
+     * window: FTQ + decode queue + ROB occupancy, the final commit
+     * overshoot, and batched-fill rounding. Generously padded — a
+     * cursor overrun is legal but costs a live-execution tail.
+     */
+    static constexpr std::uint64_t kLookaheadRecords = 32768;
+
+    /** Buffer length needed to replay a warmup+measure window. */
+    static std::uint64_t
+    recordsForWindow(std::uint64_t window_instructions)
+    {
+        return window_instructions + kLookaheadRecords;
+    }
+
+    /**
+     * Generate and pack the first @p records of @p program's stream
+     * (profile-seeded, exactly as runPolicy's live executor).
+     */
+    RecordBuffer(const SyntheticProgram &program, std::uint64_t records);
+
+    std::uint64_t size() const { return pc_.size(); }
+
+    /** Packed bytes held (excludes the tail snapshot). */
+    std::uint64_t
+    packedBytes() const
+    {
+        return size() * kBytesPerRecord;
+    }
+
+    /** Workload name, as the live executor reports it. */
+    const std::string &name() const { return name_; }
+
+    /** Decode record @p i. */
+    TraceRecord
+    record(std::uint64_t i) const
+    {
+        TraceRecord rec;
+        rec.pc = pc_[i];
+        rec.nextPc = nextPc_[i];
+        rec.memAddr = memAddr_[i];
+        rec.cls = static_cast<InstClass>(clsTaken_[i] & 0x7f);
+        rec.taken = (clsTaken_[i] & 0x80) != 0;
+        return rec;
+    }
+
+    /** Words of the unique-code-line bitmap a cursor must allocate
+     *  (same sizing as SyntheticExecutor's footprint bitmap). */
+    std::uint64_t codeBitmapWords() const { return codeBitmapWords_; }
+
+    /** Generator snapshot at end-of-buffer; cursors that exhaust the
+     *  buffer copy it and continue the stream live. */
+    const SyntheticExecutor &tailExecutor() const { return *tail_; }
+
+  private:
+    std::vector<std::uint64_t> pc_;
+    std::vector<std::uint64_t> nextPc_;
+    std::vector<std::uint64_t> memAddr_;
+    /** Bits 0..6: InstClass; bit 7: branch taken. */
+    std::vector<std::uint8_t> clsTaken_;
+    std::string name_;
+    std::uint64_t codeBitmapWords_ = 0;
+    std::unique_ptr<SyntheticExecutor> tail_;
+};
+
+/**
+ * TraceSource replaying a RecordBuffer.
+ *
+ * The class is final and its fill() is a straight SoA decode loop, so
+ * per-instruction cost is a few loads and stores — no program walk,
+ * no RNG draws, no virtual dispatch inside the batch. Each cursor is
+ * independent; share one buffer across any number of threads.
+ */
+class ReplayCursor final : public TraceSource
+{
+  public:
+    explicit ReplayCursor(std::shared_ptr<const RecordBuffer> buffer);
+
+    TraceRecord next() override;
+    void fill(TraceRecord *out, std::size_t n) override;
+    const char *name() const override;
+
+    /** Records handed out so far. */
+    std::uint64_t position() const { return pos_; }
+
+    /** Unique 64 B instruction lines touched so far — matches the
+     *  live executor's count at the same position exactly. */
+    std::uint64_t uniqueCodeLines() const;
+
+    /** True once the cursor ran past the buffer and switched to the
+     *  live tail executor (diagnostic; should not happen when the
+     *  buffer was sized with recordsForWindow). */
+    bool overran() const { return tailExec_ != nullptr; }
+
+  private:
+    void touchCode(std::uint64_t pc);
+    SyntheticExecutor &tail();
+
+    std::shared_ptr<const RecordBuffer> buffer_;
+    std::uint64_t pos_ = 0;
+    std::vector<std::uint64_t> touchedBitmap_;
+    std::uint64_t touchedLines_ = 0;
+    std::unique_ptr<SyntheticExecutor> tailExec_;
+};
+
+} // namespace emissary::trace
+
+#endif // EMISSARY_TRACE_REPLAY_HH

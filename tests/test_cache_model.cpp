@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Stress test for the cache array's flattened lookup path: the
+ * struct-of-arrays tag lane (Cache::tags_) must stay a perfect
+ * mirror of the per-line state through long random sequences of
+ * insert/touch/invalidate, including heavy set aliasing. Every
+ * operation is cross-checked against a reference model (a plain
+ * per-set address set), so any desynchronisation — a stale tag
+ * matching after invalidate, an empty-way probe missing a free way,
+ * an eviction the model did not predict possible — fails here.
+ *
+ * Runs for TPLRU and EMISSARY (the devirtualized fast paths) and a
+ * Generic-dispatch family, and is part of the ASan CI stage, which
+ * catches out-of-bounds tag-lane indexing the assertions cannot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "replacement/policy.hh"
+#include "replacement/spec.hh"
+#include "util/rng.hh"
+
+namespace emissary::cache
+{
+namespace
+{
+
+/** Reference residency model: the set of line addresses per set. */
+class ReferenceModel
+{
+  public:
+    ReferenceModel(unsigned sets, unsigned ways)
+        : sets_(sets), ways_(ways), resident_(sets)
+    {
+    }
+
+    bool
+    contains(std::uint64_t line_addr) const
+    {
+        const auto &set = resident_[setOf(line_addr)];
+        return set.count(line_addr) != 0;
+    }
+
+    bool
+    setFull(std::uint64_t line_addr) const
+    {
+        return resident_[setOf(line_addr)].size() == ways_;
+    }
+
+    void
+    insert(std::uint64_t line_addr)
+    {
+        resident_[setOf(line_addr)].insert(line_addr);
+    }
+
+    void
+    erase(std::uint64_t line_addr)
+    {
+        resident_[setOf(line_addr)].erase(line_addr);
+    }
+
+    std::uint64_t
+    residentLines() const
+    {
+        std::uint64_t count = 0;
+        for (const auto &set : resident_)
+            count += set.size();
+        return count;
+    }
+
+  private:
+    unsigned setOf(std::uint64_t line_addr) const
+    {
+        return static_cast<unsigned>(line_addr & (sets_ - 1));
+    }
+
+    unsigned sets_;
+    unsigned ways_;
+    std::vector<std::set<std::uint64_t>> resident_;
+};
+
+/**
+ * Random alias-heavy workout of one policy configuration. Addresses
+ * are drawn from a pool that is a small multiple of one set's worth
+ * of aliases, so sets fill, evict and reuse tags constantly.
+ */
+void
+stressPolicy(const std::string &policy, std::uint64_t seed)
+{
+    SCOPED_TRACE(policy);
+
+    Cache::Config config;
+    config.name = "stress";
+    config.sizeBytes = 64 * 1024;  // 64 sets x 16 ways x 64 B.
+    config.ways = 16;
+    config.lineBytes = 64;
+    config.policy = replacement::PolicySpec::parse(policy);
+    config.seed = seed;
+    Cache cache(config);
+
+    const unsigned sets = cache.numSets();
+    const unsigned ways = cache.numWays();
+    ReferenceModel model(sets, ways);
+
+    // 40 aliases per set: 2.5x associativity, so roughly every other
+    // insert into a warm set evicts.
+    const unsigned aliases = 40;
+    Rng rng(seed ^ 0xA11A5ULL);
+
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    for (int op = 0; op < 200'000; ++op) {
+        const unsigned set =
+            static_cast<unsigned>(rng.nextBelow(sets));
+        const std::uint64_t alias = rng.nextBelow(aliases);
+        // line_addr maps to `set` and carries a distinct tag per
+        // alias (bits above the set index).
+        const std::uint64_t line_addr = (alias << 20) | set;
+
+        const bool present_model = model.contains(line_addr);
+        const CacheLine *peeked = cache.peek(line_addr);
+        ASSERT_EQ(peeked != nullptr, present_model)
+            << "op " << op << " addr " << line_addr;
+
+        const std::uint64_t action = rng.nextBelow(10);
+        if (action < 6) {
+            // Access: touch on hit, fill on miss.
+            if (present_model) {
+                cache.touch(line_addr);
+            } else {
+                replacement::LineInfo info;
+                info.isInstruction = (action % 2) == 0;
+                info.highPriority = (action % 3) == 0;
+                const bool was_full = model.setFull(line_addr);
+                const Cache::Eviction evicted = cache.insert(
+                    line_addr, info, info.isInstruction, false,
+                    false, false);
+                ++inserts;
+                ASSERT_EQ(evicted.valid, was_full) << "op " << op;
+                if (evicted.valid) {
+                    ++evictions;
+                    // The victim must be a line the model knows is
+                    // resident in this very set, and must not be the
+                    // line just inserted.
+                    ASSERT_NE(evicted.lineAddr, line_addr);
+                    ASSERT_TRUE(model.contains(evicted.lineAddr))
+                        << "op " << op;
+                    ASSERT_EQ(evicted.lineAddr & (sets - 1),
+                              line_addr & (sets - 1));
+                    model.erase(evicted.lineAddr);
+                    ASSERT_EQ(cache.peek(evicted.lineAddr), nullptr);
+                }
+                model.insert(line_addr);
+                ASSERT_NE(cache.peek(line_addr), nullptr);
+            }
+        } else if (action < 8) {
+            // Back-invalidate (present or not — both must work).
+            const Cache::Eviction removed =
+                cache.invalidate(line_addr);
+            ASSERT_EQ(removed.valid, present_model) << "op " << op;
+            model.erase(line_addr);
+            ASSERT_EQ(cache.peek(line_addr), nullptr);
+        } else if (action < 9) {
+            if (present_model)
+                cache.raisePriority(line_addr);
+        } else {
+            cache.noteDemandMiss(line_addr);
+        }
+    }
+
+    // The workout must actually have exercised the eviction path.
+    EXPECT_GT(inserts, 50'000u);
+    EXPECT_GT(evictions, 10'000u);
+
+    // Final census: every model-resident line is peekable, and the
+    // cache holds nothing beyond the model.
+    std::uint64_t peekable = 0;
+    for (unsigned set = 0; set < sets; ++set) {
+        for (std::uint64_t alias = 0; alias < aliases; ++alias) {
+            const std::uint64_t line_addr = (alias << 20) | set;
+            const bool in_cache = cache.peek(line_addr) != nullptr;
+            ASSERT_EQ(in_cache, model.contains(line_addr))
+                << "addr " << line_addr;
+            peekable += in_cache ? 1 : 0;
+        }
+    }
+    EXPECT_EQ(peekable, model.residentLines());
+}
+
+TEST(CacheModel, TreePlruFastPathMatchesReferenceModel)
+{
+    stressPolicy("TPLRU", 0x7E57ULL);
+}
+
+TEST(CacheModel, EmissaryFastPathMatchesReferenceModel)
+{
+    stressPolicy("P(8):S&E&R(1/32)", 0x7E58ULL);
+}
+
+TEST(CacheModel, GenericDispatchMatchesReferenceModel)
+{
+    stressPolicy("DRRIP", 0x7E59ULL);
+    stressPolicy("M:R(1/32)", 0x7E5AULL);
+}
+
+} // namespace
+} // namespace emissary::cache

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the trace replay cache: RecordBuffer must pack the live
+ * executor's stream exactly, ReplayCursor must decode it (and fall
+ * back to the tail snapshot on overrun) without perturbing a single
+ * field, and — the headline determinism contract — a replayed
+ * runPolicy must produce bit-identical Metrics and registry counters
+ * to a live run. The grid engine's replay path is checked against a
+ * budget-disabled live grid the same way.
+ *
+ * The per-workload equivalence test runs a fast subset by default;
+ * set EMISSARY_REPLAY_FULL=1 (the test_replay_full ctest entry) to
+ * sweep every workload in trace::datacenterSuite().
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/grid.hh"
+#include "core/threadpool.hh"
+#include "trace/executor.hh"
+#include "trace/profile.hh"
+#include "trace/program.hh"
+#include "trace/replay.hh"
+
+namespace emissary
+{
+namespace
+{
+
+using core::Metrics;
+using core::RunInstrumentation;
+using core::RunOptions;
+
+void
+expectRecordsEqual(const trace::TraceRecord &a,
+                   const trace::TraceRecord &b, std::uint64_t i)
+{
+    EXPECT_EQ(a.pc, b.pc) << "record " << i;
+    EXPECT_EQ(a.nextPc, b.nextPc) << "record " << i;
+    EXPECT_EQ(a.memAddr, b.memAddr) << "record " << i;
+    EXPECT_EQ(a.cls, b.cls) << "record " << i;
+    EXPECT_EQ(a.taken, b.taken) << "record " << i;
+}
+
+void
+expectMetricsIdentical(const Metrics &a, const Metrics &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.l1iMpki, b.l1iMpki);
+    EXPECT_EQ(a.l1dMpki, b.l1dMpki);
+    EXPECT_EQ(a.l2InstMpki, b.l2InstMpki);
+    EXPECT_EQ(a.l2DataMpki, b.l2DataMpki);
+    EXPECT_EQ(a.l3Mpki, b.l3Mpki);
+    EXPECT_EQ(a.starvationCycles, b.starvationCycles);
+    EXPECT_EQ(a.starvationIqEmptyCycles, b.starvationIqEmptyCycles);
+    EXPECT_EQ(a.feStallCycles, b.feStallCycles);
+    EXPECT_EQ(a.beStallCycles, b.beStallCycles);
+    EXPECT_EQ(a.totalStallCycles, b.totalStallCycles);
+    EXPECT_EQ(a.decodeRate, b.decodeRate);
+    EXPECT_EQ(a.issueRate, b.issueRate);
+    EXPECT_EQ(a.condMispredictsPerKi, b.condMispredictsPerKi);
+    EXPECT_EQ(a.btbMissesPerKi, b.btbMissesPerKi);
+    EXPECT_EQ(a.energy.coreDynamicJ, b.energy.coreDynamicJ);
+    EXPECT_EQ(a.energy.cacheDynamicJ, b.energy.cacheDynamicJ);
+    EXPECT_EQ(a.energy.dramJ, b.energy.dramJ);
+    EXPECT_EQ(a.energy.leakageJ, b.energy.leakageJ);
+    EXPECT_EQ(a.priorityDistribution, b.priorityDistribution);
+    EXPECT_EQ(a.highPriorityFills, b.highPriorityFills);
+    EXPECT_EQ(a.priorityUpgrades, b.priorityUpgrades);
+    EXPECT_EQ(a.codeFootprintLines, b.codeFootprintLines);
+}
+
+void
+expectRegistriesIdentical(const stats::Registry &a,
+                          const stats::Registry &b)
+{
+    ASSERT_EQ(a.names(), b.names());
+    for (const std::string &name : a.names())
+        EXPECT_EQ(a.value(name), b.value(name)) << name;
+}
+
+TEST(RecordBuffer, PacksTheLiveStreamExactly)
+{
+    const trace::SyntheticProgram program(
+        trace::profileByName("tomcat"));
+    const std::uint64_t records = 50'000;
+    const trace::RecordBuffer buffer(program, records);
+
+    EXPECT_EQ(buffer.size(), records);
+    EXPECT_EQ(buffer.packedBytes(),
+              records * trace::RecordBuffer::kBytesPerRecord);
+
+    trace::SyntheticExecutor live(program);
+    EXPECT_STREQ(buffer.name().c_str(), live.name());
+    for (std::uint64_t i = 0; i < records; ++i)
+        expectRecordsEqual(buffer.record(i), live.next(), i);
+}
+
+TEST(ReplayCursor, MixedNextAndFillDecodeTheBuffer)
+{
+    const trace::SyntheticProgram program(
+        trace::profileByName("verilator"));
+    const std::uint64_t records = 20'000;
+    auto buffer = std::make_shared<const trace::RecordBuffer>(
+        program, records);
+
+    trace::ReplayCursor cursor(buffer);
+    trace::SyntheticExecutor live(program);
+    EXPECT_STREQ(cursor.name(), live.name());
+
+    // Interleave single pulls with odd-sized batches to exercise both
+    // entry points and batch-boundary bookkeeping.
+    std::uint64_t consumed = 0;
+    const std::size_t batches[] = {1, 7, 256, 100, 1000, 3, 511};
+    std::vector<trace::TraceRecord> got(1024);
+    while (consumed + 2048 < records) {
+        for (const std::size_t n : batches) {
+            cursor.fill(got.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                expectRecordsEqual(got[i], live.next(), consumed + i);
+            consumed += n;
+        }
+        expectRecordsEqual(cursor.next(), live.next(), consumed);
+        ++consumed;
+    }
+    EXPECT_EQ(cursor.position(), consumed);
+    EXPECT_FALSE(cursor.overran());
+    EXPECT_EQ(cursor.uniqueCodeLines(), live.uniqueCodeLines());
+}
+
+TEST(ReplayCursor, OverrunContinuesFromTheTailSnapshot)
+{
+    const trace::SyntheticProgram program(
+        trace::profileByName("kafka"));
+    auto buffer = std::make_shared<const trace::RecordBuffer>(
+        program, 1'000);
+
+    trace::ReplayCursor cursor(buffer);
+    trace::SyntheticExecutor live(program);
+
+    // Read 3x the buffer: the cursor must cross into the tail
+    // snapshot without skipping or repeating a record.
+    std::vector<trace::TraceRecord> got(300);
+    for (std::uint64_t consumed = 0; consumed < 3'000;
+         consumed += got.size()) {
+        cursor.fill(got.data(), got.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            expectRecordsEqual(got[i], live.next(), consumed + i);
+    }
+    EXPECT_TRUE(cursor.overran());
+    EXPECT_EQ(cursor.uniqueCodeLines(), live.uniqueCodeLines());
+}
+
+/** Replay vs live for one workload under one policy. */
+void
+expectReplayMatchesLive(const trace::WorkloadProfile &profile,
+                        const std::string &policy,
+                        const RunOptions &options)
+{
+    SCOPED_TRACE(profile.name + " / " + policy);
+    const auto l2 = replacement::PolicySpec::parse(policy);
+    const auto l1i = replacement::PolicySpec::parse(options.l1iPolicy);
+
+    const trace::SyntheticProgram program(profile);
+    RunInstrumentation live_instr;
+    const Metrics live =
+        core::runPolicy(program, l2, l1i, options, &live_instr);
+
+    auto buffer = std::make_shared<const trace::RecordBuffer>(
+        program, trace::RecordBuffer::recordsForWindow(
+                     options.warmupInstructions +
+                     options.measureInstructions));
+    RunInstrumentation replay_instr;
+    const Metrics replay =
+        core::runPolicy(buffer, l2, l1i, options, &replay_instr);
+
+    expectMetricsIdentical(live, replay);
+    expectRegistriesIdentical(live_instr.registry,
+                              replay_instr.registry);
+}
+
+TEST(ReplayRun, MetricsBitIdenticalToLiveFastSubset)
+{
+    RunOptions options;
+    options.warmupInstructions = 20'000;
+    options.measureInstructions = 60'000;
+    for (const char *name : {"tomcat", "verilator"})
+        for (const char *policy : {"TPLRU", "P(8):S&E&R(1/32)"})
+            expectReplayMatchesLive(trace::profileByName(name),
+                                    policy, options);
+}
+
+TEST(ReplayRun, MetricsBitIdenticalToLiveFullSuite)
+{
+    if (!std::getenv("EMISSARY_REPLAY_FULL"))
+        GTEST_SKIP() << "set EMISSARY_REPLAY_FULL=1 (or run the "
+                        "test_replay_full ctest entry) for the full "
+                        "datacenterSuite sweep";
+    RunOptions options;
+    options.warmupInstructions = 20'000;
+    options.measureInstructions = 60'000;
+    for (const trace::WorkloadProfile &profile :
+         trace::datacenterSuite())
+        for (const char *policy : {"TPLRU", "P(8):S&E&R(1/32)"})
+            expectReplayMatchesLive(profile, policy, options);
+}
+
+TEST(ReplayRun, GridReplayMatchesBudgetDisabledLiveGrid)
+{
+    RunOptions options;
+    options.warmupInstructions = 20'000;
+    options.measureInstructions = 60'000;
+    const core::PolicyGrid grid = core::PolicyGrid::sweep(
+        {trace::profileByName("tomcat"),
+         trace::profileByName("kafka")},
+        {"TPLRU", "P(2):S&E", "M:R(1/2)"}, options);
+    core::ThreadPool pool(2);
+
+    // Budget 0 disables the replay cache: every cell generates live.
+    ::setenv("EMISSARY_REPLAY_BUDGET_MB", "0", 1);
+    const core::GridResults live = core::runGrid(grid, pool);
+    ::unsetenv("EMISSARY_REPLAY_BUDGET_MB");
+    const core::GridResults replayed = core::runGrid(grid, pool);
+
+    for (std::size_t w = 0; w < grid.workloads.size(); ++w)
+        for (std::size_t r = 0; r < grid.runs.size(); ++r)
+            expectMetricsIdentical(live.at(w, r), replayed.at(w, r));
+
+    // Both report the same committed work in the Minst/s aggregate.
+    EXPECT_EQ(live.totalInstructions(), replayed.totalInstructions());
+    EXPECT_GT(replayed.instructionsPerSecond(), 0.0);
+}
+
+} // namespace
+} // namespace emissary
