@@ -95,6 +95,15 @@ reportSweepTiming(const core::GridResults &results,
                 results.timingTable(workloads).render().c_str());
 }
 
+/** Grid-row overload for harnesses sweeping mixed workload lists. */
+inline void
+reportSweepTiming(const core::GridResults &results,
+                  const std::vector<core::GridWorkload> &workloads)
+{
+    std::printf("sweep wall-clock:\n%s\n",
+                results.timingTable(workloads).render().c_str());
+}
+
 /**
  * Write the sweep's JSON artifact ("<bench>_sweep.json": a per-run
  * manifest for every cell plus the timing aggregate) into the

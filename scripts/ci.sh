@@ -8,8 +8,12 @@
 #   3. Throughput smoke: a short policy sweep that prints Minst/s;
 #      the numbers are informational — the stage gates only on the
 #      bench exiting cleanly
-#   4. AddressSanitizer build + full test suite
-#   5. ThreadSanitizer build + the "threaded" test label
+#   4. trace_pack smoke: pack a synthetic benchmark into an EMTC
+#      container, verify its CRCs, prove that verify *fails* on a
+#      flipped byte, import the committed ChampSim fixture, and run
+#      a 2x2 catalog sweep whose JSON must parse
+#   5. AddressSanitizer build + full test suite
+#   6. ThreadSanitizer build + the "threaded" test label
 #
 # An optional "lto" stage rebuilds Release with EMISSARY_LTO=ON and
 # reruns the suite (the GitHub workflow runs it as its own job).
@@ -19,7 +23,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${CI_JOBS:-$(nproc)}"
-STAGES="${*:-release smoke throughput asan tsan}"
+STAGES="${*:-release smoke throughput tracepack asan tsan}"
 
 run_stage() { echo; echo "=== ci: $* ==="; }
 
@@ -82,6 +86,47 @@ for stage in $STAGES; do
             { echo "no throughput rows in sweep output" >&2; exit 1; }
         rm -f "$out"
         echo "throughput smoke OK"
+        ;;
+    tracepack)
+        run_stage "trace_pack + catalog smoke"
+        pack=build-ci-release/tools/trace_pack
+        [ -x "$pack" ] ||
+            { echo "run the release stage first" >&2; exit 1; }
+        out="$(mktemp -d)"
+        # Pack a synthetic benchmark and check the container.
+        "$pack" pack "$out/tomcat.emtc" \
+            --benchmark tomcat --records 100000
+        "$pack" info "$out/tomcat.emtc" >/dev/null
+        "$pack" verify "$out/tomcat.emtc"
+        # Corruption must not verify: flip one payload byte.
+        cp "$out/tomcat.emtc" "$out/bad.emtc"
+        printf '\xff' |
+            dd of="$out/bad.emtc" bs=1 seek=2000 conv=notrunc \
+                status=none
+        if "$pack" verify "$out/bad.emtc" 2>/dev/null; then
+            echo "verify accepted a corrupt container" >&2; exit 1
+        fi
+        # The committed ChampSim fixture must import.
+        "$pack" import-champsim tests/data/tiny.champsim \
+            "$out/tiny.emtc" --name tiny
+        "$pack" verify "$out/tiny.emtc"
+        # A catalog sweep over the packed trace + a live synthetic
+        # workload must produce parseable sweep JSON.
+        cat >"$out/catalog.json" <<EOF
+{"schema": "emissary.catalog.v1",
+ "workloads": [
+   {"name": "kafka", "synthetic": {"profile": "kafka"}},
+   {"name": "tomcat.packed", "trace": {"path": "tomcat.emtc"}}]}
+EOF
+        build-ci-release/tools/emissary_sim \
+            --catalog "$out/catalog.json" \
+            --policies "TPLRU,EMISSARY" \
+            --instructions 200000 \
+            --stats-json "$out/sweep.json" >/dev/null
+        build-ci-release/tools/json_check "$out/sweep.json" \
+            schema runs
+        rm -rf "$out"
+        echo "trace_pack smoke OK"
         ;;
     lto)
         run_stage "Release + LTO build + tests"

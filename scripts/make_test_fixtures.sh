@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerate the committed trace fixtures under tests/data/.
+#
+# The fixtures pin the on-disk bytes of the two workload formats:
+#
+#   tests/data/tiny.emtc      EMTC container, 2000 records of the
+#                             xapian synthetic stream, 512-record
+#                             blocks
+#   tests/data/tiny.champsim  the same stream's first 512 records in
+#                             ChampSim's raw 64-byte record format
+#
+# Both generators are bit-deterministic per seed, so a rebuild of the
+# same source must reproduce these files byte-for-byte; test_emtc's
+# CommittedFixtureBytesAreStable compares a fresh pack against the
+# committed container to catch accidental encoder drift. If the EMTC
+# format version is bumped intentionally, rerun this script and
+# commit the result together with the version change.
+#
+# Usage: ./scripts/make_test_fixtures.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+pack="$build/tools/trace_pack"
+[ -x "$pack" ] || {
+    echo "$pack not built (cmake --build $build --target trace_pack)" >&2
+    exit 1
+}
+
+mkdir -p tests/data
+"$pack" pack tests/data/tiny.emtc \
+    --benchmark xapian --records 2000 --records-per-block 512
+"$pack" export-champsim tests/data/tiny.champsim \
+    --benchmark xapian --records 512
+"$pack" verify tests/data/tiny.emtc
+ls -l tests/data/tiny.emtc tests/data/tiny.champsim

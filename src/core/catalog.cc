@@ -1,0 +1,291 @@
+#include "core/catalog.hh"
+
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "stats/json.hh"
+#include "trace/profile.hh"
+
+namespace emissary::core
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &origin, const std::string &defect)
+{
+    throw std::runtime_error("workload catalog: " + origin + ": " +
+                             defect);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fail(path, "cannot open");
+    std::string text;
+    char buffer[4096];
+    std::size_t got;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0)
+        text.append(buffer, got);
+    const bool read_error = std::ferror(file) != 0;
+    std::fclose(file);
+    if (read_error)
+        fail(path, "read error");
+    return text;
+}
+
+/** Directory component of @p path ("" when it has none). */
+std::string
+dirName(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash);
+}
+
+std::string
+resolvePath(const std::string &base_dir, const std::string &path)
+{
+    if (base_dir.empty() || path.empty() || path.front() == '/')
+        return path;
+    return base_dir + "/" + path;
+}
+
+std::uint64_t
+uintField(const stats::JsonValue &value, const std::string &origin,
+          const std::string &context, const std::string &key)
+{
+    if (!value.isNumber())
+        fail(origin, context + ": \"" + key +
+                         "\" must be an unsigned integer");
+    try {
+        return value.asUint();
+    } catch (const std::domain_error &) {
+        fail(origin, context + ": \"" + key +
+                         "\" must be an unsigned integer");
+    }
+}
+
+double
+doubleField(const stats::JsonValue &value, const std::string &origin,
+            const std::string &context, const std::string &key)
+{
+    if (!value.isNumber())
+        fail(origin, context + ": \"" + key + "\" must be a number");
+    return value.asDouble();
+}
+
+/**
+ * Synthetic generator configuration: a named suite profile plus
+ * optional parameter overrides (the knobs experiments most often
+ * vary; docs/workloads.md lists them).
+ */
+trace::WorkloadProfile
+parseSynthetic(const stats::JsonValue &spec, const std::string &origin,
+               const std::string &context)
+{
+    const stats::JsonValue *profile_name = spec.find("profile");
+    if (!profile_name || !profile_name->isString())
+        fail(origin, context +
+                         ": \"synthetic\" needs a string \"profile\"");
+
+    trace::WorkloadProfile profile;
+    try {
+        profile = trace::profileByName(profile_name->asString());
+    } catch (const std::exception &e) {
+        fail(origin, context + ": " + e.what());
+    }
+
+    for (const auto &[key, value] : spec.members()) {
+        if (key == "profile")
+            continue;
+        else if (key == "seed")
+            profile.seed = uintField(value, origin, context, key);
+        else if (key == "code_footprint_bytes")
+            profile.codeFootprintBytes =
+                uintField(value, origin, context, key);
+        else if (key == "hot_data_bytes")
+            profile.hotDataBytes =
+                uintField(value, origin, context, key);
+        else if (key == "transaction_types")
+            profile.transactionTypes = static_cast<unsigned>(
+                uintField(value, origin, context, key));
+        else if (key == "transaction_skew")
+            profile.transactionSkew =
+                doubleField(value, origin, context, key);
+        else if (key == "hard_branch_fraction")
+            profile.hardBranchFraction =
+                doubleField(value, origin, context, key);
+        else if (key == "load_fraction")
+            profile.loadFraction =
+                doubleField(value, origin, context, key);
+        else if (key == "store_fraction")
+            profile.storeFraction =
+                doubleField(value, origin, context, key);
+        else
+            fail(origin, context + ": unknown synthetic key \"" +
+                             key + "\"");
+    }
+    return profile;
+}
+
+GridWorkload
+parseWorkload(const stats::JsonValue &entry, const std::string &origin,
+              const std::string &base_dir, std::size_t index)
+{
+    const std::string context =
+        "workloads[" + std::to_string(index) + "]";
+    if (!entry.isObject())
+        fail(origin, context + ": must be an object");
+
+    const stats::JsonValue *name = entry.find("name");
+    if (!name || !name->isString() || name->asString().empty())
+        fail(origin, context + ": needs a non-empty string \"name\"");
+    const std::string label =
+        context + " (\"" + name->asString() + "\")";
+
+    const stats::JsonValue *synthetic = entry.find("synthetic");
+    const stats::JsonValue *trace_spec = entry.find("trace");
+    if (!!synthetic == !!trace_spec)
+        fail(origin, label + ": needs exactly one of \"synthetic\" "
+                             "or \"trace\"");
+
+    for (const auto &[key, value] : entry.members()) {
+        (void)value;
+        if (key != "name" && key != "synthetic" && key != "trace")
+            fail(origin, label + ": unknown key \"" + key + "\"");
+    }
+
+    GridWorkload workload;
+    workload.name = name->asString();
+
+    if (synthetic) {
+        if (!synthetic->isObject())
+            fail(origin, label + ": \"synthetic\" must be an object");
+        workload.profile = parseSynthetic(*synthetic, origin, label);
+        // The grid row's name wins in reports; keep the generator's
+        // self-description in step so single-run paths agree.
+        workload.profile.name = workload.name;
+        return workload;
+    }
+
+    if (!trace_spec->isObject())
+        fail(origin, label + ": \"trace\" must be an object");
+    const stats::JsonValue *path = trace_spec->find("path");
+    if (!path || !path->isString() || path->asString().empty())
+        fail(origin,
+             label + ": \"trace\" needs a non-empty string \"path\"");
+    workload.tracePath = resolvePath(base_dir, path->asString());
+    for (const auto &[key, value] : trace_spec->members()) {
+        if (key == "path")
+            continue;
+        else if (key == "skip_records")
+            workload.skipRecords =
+                uintField(value, origin, label, key);
+        else if (key == "max_records")
+            workload.maxRecords =
+                uintField(value, origin, label, key);
+        else
+            fail(origin,
+                 label + ": unknown trace key \"" + key + "\"");
+    }
+    return workload;
+}
+
+} // namespace
+
+WorkloadCatalog
+WorkloadCatalog::load(const std::string &path)
+{
+    return parse(readFile(path), dirName(path), path);
+}
+
+WorkloadCatalog
+WorkloadCatalog::parse(const std::string &text,
+                       const std::string &base_dir,
+                       const std::string &origin)
+{
+    stats::JsonValue doc;
+    try {
+        doc = stats::JsonValue::parse(text);
+    } catch (const std::invalid_argument &e) {
+        fail(origin, e.what());
+    }
+    if (!doc.isObject())
+        fail(origin, "manifest must be a JSON object");
+
+    const stats::JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != "emissary.catalog.v1")
+        fail(origin,
+             "missing or unsupported \"schema\" (expected "
+             "\"emissary.catalog.v1\")");
+
+    const stats::JsonValue *entries = doc.find("workloads");
+    if (!entries || !entries->isArray() || entries->size() == 0)
+        fail(origin, "needs a non-empty \"workloads\" array");
+
+    for (const auto &[key, value] : doc.members()) {
+        (void)value;
+        if (key != "schema" && key != "workloads")
+            fail(origin, "unknown key \"" + key + "\"");
+    }
+
+    WorkloadCatalog catalog;
+    std::unordered_set<std::string> seen;
+    for (std::size_t i = 0; i < entries->size(); ++i) {
+        GridWorkload workload =
+            parseWorkload(entries->at(i), origin, base_dir, i);
+        if (!seen.insert(workload.name).second)
+            fail(origin, "duplicate workload name \"" +
+                             workload.name + "\"");
+        catalog.workloads_.push_back(std::move(workload));
+    }
+    return catalog;
+}
+
+std::vector<std::string>
+WorkloadCatalog::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(workloads_.size());
+    for (const GridWorkload &workload : workloads_)
+        out.push_back(workload.name);
+    return out;
+}
+
+std::vector<GridWorkload>
+WorkloadCatalog::select(const std::vector<std::string> &names) const
+{
+    if (names.empty())
+        return workloads_;
+    std::vector<GridWorkload> out;
+    out.reserve(names.size());
+    for (const std::string &name : names) {
+        const GridWorkload *found = nullptr;
+        for (const GridWorkload &workload : workloads_)
+            if (workload.name == name) {
+                found = &workload;
+                break;
+            }
+        if (!found) {
+            std::string have;
+            for (const GridWorkload &workload : workloads_) {
+                if (!have.empty())
+                    have += ", ";
+                have += workload.name;
+            }
+            throw std::invalid_argument(
+                "workload catalog: no workload named \"" + name +
+                "\" (catalog has: " + have + ")");
+        }
+        out.push_back(*found);
+    }
+    return out;
+}
+
+} // namespace emissary::core

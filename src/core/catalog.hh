@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Workload catalog: a JSON manifest declaring the named workloads a
+ * sweep may draw from — synthetic generator configurations and
+ * on-disk trace files side by side.
+ *
+ * The manifest decouples *what to run* from the harness binaries: the
+ * same emissary_sim invocation sweeps a suite profile, a re-seeded
+ * variant of it, and an imported ChampSim trace, selected by name.
+ * Schema "emissary.catalog.v1" (docs/workloads.md):
+ *
+ *     {
+ *       "schema": "emissary.catalog.v1",
+ *       "workloads": [
+ *         {"name": "cassandra", "synthetic": {"profile": "cassandra"}},
+ *         {"name": "cassandra.s7",
+ *          "synthetic": {"profile": "cassandra", "seed": 7}},
+ *         {"name": "server.champsim",
+ *          "trace": {"path": "traces/server.emtc",
+ *                    "skip_records": 100000,
+ *                    "max_records": 2000000}}
+ *       ]
+ *     }
+ *
+ * Relative trace paths resolve against the manifest's own directory,
+ * so a catalog checked in next to its traces is relocatable. Parsing
+ * is strict: unknown keys, duplicate names and malformed values all
+ * throw with the manifest path and the offending workload named.
+ */
+
+#ifndef EMISSARY_CORE_CATALOG_HH
+#define EMISSARY_CORE_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "core/grid.hh"
+
+namespace emissary::core
+{
+
+/** Parsed, validated workload manifest. */
+class WorkloadCatalog
+{
+  public:
+    /**
+     * Load and validate a manifest file.
+     * @throws std::runtime_error naming the path and the defect
+     *         (unreadable file, bad schema, unknown key, duplicate
+     *         workload name, unknown profile, ...).
+     */
+    static WorkloadCatalog load(const std::string &path);
+
+    /**
+     * Parse manifest text directly (tests, generated catalogs).
+     * @param base_dir Directory relative trace paths resolve
+     *        against; empty leaves them as written.
+     * @param origin Label used in error messages.
+     */
+    static WorkloadCatalog parse(const std::string &text,
+                                 const std::string &base_dir,
+                                 const std::string &origin);
+
+    /** Every declared workload, in manifest order. */
+    const std::vector<GridWorkload> &workloads() const
+    {
+        return workloads_;
+    }
+
+    /** Declared names, in manifest order. */
+    std::vector<std::string> names() const;
+
+    /**
+     * The subset named in @p names, in the order given (the
+     * --benchmarks contract). An empty list selects everything.
+     * @throws std::invalid_argument on a name the catalog lacks,
+     *         listing what it has.
+     */
+    std::vector<GridWorkload>
+    select(const std::vector<std::string> &names) const;
+
+  private:
+    std::vector<GridWorkload> workloads_;
+};
+
+} // namespace emissary::core
+
+#endif // EMISSARY_CORE_CATALOG_HH

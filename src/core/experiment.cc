@@ -119,6 +119,17 @@ runPolicy(std::shared_ptr<const trace::RecordBuffer> buffer,
     return metrics;
 }
 
+Metrics
+runPolicy(trace::TraceSource &source,
+          const replacement::PolicySpec &l2_spec,
+          const replacement::PolicySpec &l1i_spec,
+          const RunOptions &options,
+          RunInstrumentation *instrumentation)
+{
+    return runOverSource(source, l2_spec, l1i_spec, options,
+                         instrumentation);
+}
+
 double
 speedupPercent(const Metrics &base, const Metrics &test)
 {

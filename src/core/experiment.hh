@@ -113,6 +113,20 @@ Metrics runPolicy(std::shared_ptr<const trace::RecordBuffer> buffer,
                   const RunOptions &options,
                   RunInstrumentation *instrumentation = nullptr);
 
+/**
+ * Generic-source variant: run over any TraceSource — a file-backed
+ * trace (trace::FileTraceSource, workload::PackedTraceSource) or any
+ * other stream honouring the infinite-stream contract. The source is
+ * consumed from its current position. Metrics.codeFootprintLines is
+ * left 0; callers with footprint metadata (e.g. an EMTC container's
+ * pack-time census) fill it themselves.
+ */
+Metrics runPolicy(trace::TraceSource &source,
+                  const replacement::PolicySpec &l2_spec,
+                  const replacement::PolicySpec &l1i_spec,
+                  const RunOptions &options,
+                  RunInstrumentation *instrumentation = nullptr);
+
 /** Speedup of @p test over @p base in percent (paper convention). */
 double speedupPercent(const Metrics &base, const Metrics &test);
 

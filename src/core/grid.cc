@@ -8,12 +8,17 @@
 #include <utility>
 
 #include "core/observability.hh"
+#include "trace/file.hh"
 #include "trace/program.hh"
 #include "trace/replay.hh"
 #include "util/strutil.hh"
+#include "workload/emtc.hh"
 
 namespace emissary::core
 {
+
+using emissary::workload::PackedTraceSource;
+using emissary::workload::readTraceInfo;
 
 namespace
 {
@@ -24,6 +29,47 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+bool
+isPackedTrace(const std::string &path)
+{
+    static const std::string suffix = ".emtc";
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+/** Fresh streaming source over @p w's trace, positioned at its
+ *  configured skip offset plus @p extra_skip records. */
+std::unique_ptr<trace::TraceSource>
+openTraceSource(const GridWorkload &w, std::uint64_t extra_skip = 0)
+{
+    std::unique_ptr<trace::TraceSource> source;
+    if (isPackedTrace(w.tracePath)) {
+        auto packed = std::make_unique<PackedTraceSource>(
+            w.tracePath, w.skipRecords, w.maxRecords);
+        if (extra_skip)
+            packed->skipRecords(extra_skip);
+        source = std::move(packed);
+    } else {
+        auto file = std::make_unique<trace::FileTraceSource>(
+            w.tracePath, w.skipRecords, w.maxRecords);
+        if (extra_skip)
+            file->skipRecords(extra_skip);
+        source = std::move(file);
+    }
+    return source;
+}
+
+/** Pack-time unique-code-line census of an EMTC container (0 for
+ *  EMTR traces, which carry no footprint metadata). */
+std::uint64_t
+traceFootprintLines(const GridWorkload &w)
+{
+    if (!w.traceBacked() || !isPackedTrace(w.tracePath))
+        return 0;
+    return readTraceInfo(w.tracePath).uniqueCodeLines;
 }
 
 /**
@@ -45,6 +91,18 @@ recordsNeeded(const PolicyGrid &grid)
 
 PolicyGrid
 PolicyGrid::sweep(std::vector<trace::WorkloadProfile> workloads,
+                  const std::vector<std::string> &policies,
+                  const RunOptions &options)
+{
+    std::vector<GridWorkload> rows;
+    rows.reserve(workloads.size());
+    for (const trace::WorkloadProfile &profile : workloads)
+        rows.emplace_back(profile);
+    return sweep(std::move(rows), policies, options);
+}
+
+PolicyGrid
+PolicyGrid::sweep(std::vector<GridWorkload> workloads,
                   const std::vector<std::string> &policies,
                   const RunOptions &options)
 {
@@ -112,6 +170,17 @@ GridResults::instructionsPerSecond() const
 stats::Table
 GridResults::timingTable(
     const std::vector<trace::WorkloadProfile> &workloads) const
+{
+    std::vector<GridWorkload> rows;
+    rows.reserve(workloads.size());
+    for (const trace::WorkloadProfile &profile : workloads)
+        rows.emplace_back(profile);
+    return timingTable(rows);
+}
+
+stats::Table
+GridResults::timingTable(
+    const std::vector<GridWorkload> &workloads) const
 {
     stats::Table table({"workload", "runs", "seconds"});
     for (std::size_t w = 0; w < timing_.runSeconds.size(); ++w) {
@@ -188,21 +257,41 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
         grid.workloads.size());
     std::vector<std::shared_ptr<const trace::RecordBuffer>> buffers(
         grid.workloads.size());
+    std::vector<std::uint64_t> footprints(grid.workloads.size(), 0);
     {
         std::vector<std::future<void>> built;
         built.reserve(grid.workloads.size());
         for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
             const bool replay = w < replayable;
-            built.push_back(pool.submit(
-                [&grid, &programs, &buffers, records, replay, w]() {
-                    programs[w] =
-                        std::make_unique<trace::SyntheticProgram>(
-                            grid.workloads[w]);
-                    if (replay)
-                        buffers[w] = std::make_shared<
-                            const trace::RecordBuffer>(*programs[w],
-                                                       records);
-                }));
+            built.push_back(pool.submit([&grid, &programs, &buffers,
+                                         &footprints, records, replay,
+                                         w]() {
+                const GridWorkload &row = grid.workloads[w];
+                if (row.traceBacked()) {
+                    // The buffer unrolls the trace's wrap-around, so
+                    // any window length replays correctly; a cursor
+                    // that still overruns re-opens the file at the
+                    // overrun position via the tail factory.
+                    footprints[w] = traceFootprintLines(row);
+                    if (!replay)
+                        return;
+                    auto source = openTraceSource(row);
+                    buffers[w] =
+                        std::make_shared<const trace::RecordBuffer>(
+                            *source, records,
+                            [row](std::uint64_t position) {
+                                return openTraceSource(row, position);
+                            });
+                    return;
+                }
+                programs[w] =
+                    std::make_unique<trace::SyntheticProgram>(
+                        row.profile);
+                if (replay)
+                    buffers[w] = std::make_shared<
+                        const trace::RecordBuffer>(*programs[w],
+                                                   records);
+            }));
         }
         for (auto &future : built)
             future.get();
@@ -222,14 +311,34 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
                 // RNGs; it writes only its own result slot, so no
                 // locking — and completion order cannot reorder or
                 // perturb the results.
-                results.cells_[w][r] =
-                    buffers[w]
-                        ? runPolicy(buffers[w], l2_specs[r],
-                                    l1i_specs[r],
-                                    grid.runs[r].options)
-                        : runPolicy(*programs[w], l2_specs[r],
-                                    l1i_specs[r],
-                                    grid.runs[r].options);
+                const GridWorkload &row = grid.workloads[w];
+                Metrics metrics;
+                if (buffers[w]) {
+                    metrics = runPolicy(buffers[w], l2_specs[r],
+                                        l1i_specs[r],
+                                        grid.runs[r].options);
+                } else if (row.traceBacked()) {
+                    // Past the replay budget: stream the file fresh
+                    // for this cell. The decode is bit-exact, so the
+                    // Metrics match the buffered path.
+                    auto source = openTraceSource(row);
+                    metrics = runPolicy(*source, l2_specs[r],
+                                        l1i_specs[r],
+                                        grid.runs[r].options);
+                } else {
+                    metrics = runPolicy(*programs[w], l2_specs[r],
+                                        l1i_specs[r],
+                                        grid.runs[r].options);
+                }
+                // Normalise what the source reports: the grid row's
+                // name wins over the source's self-description, and
+                // trace-backed cells take the container's pack-time
+                // footprint census on both the buffered and the
+                // streaming path.
+                metrics.benchmark = row.name;
+                if (row.traceBacked())
+                    metrics.codeFootprintLines = footprints[w];
+                results.cells_[w][r] = std::move(metrics);
                 results.timing_.runSeconds[w][r] =
                     secondsSince(cell_start);
                 if (progress) {
@@ -280,6 +389,32 @@ sweepJson(const PolicyGrid &grid, const GridResults &results)
 
     JsonValue runs = JsonValue::array();
     for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+        const GridWorkload &row = grid.workloads[w];
+
+        // Workload provenance, shared by every run of this row.
+        JsonValue provenance = JsonValue::object();
+        if (row.traceBacked()) {
+            provenance.set("type", JsonValue("trace"));
+            provenance.set("path", JsonValue(row.tracePath));
+            provenance.set("skip_records",
+                           JsonValue(row.skipRecords));
+            provenance.set("max_records", JsonValue(row.maxRecords));
+            if (isPackedTrace(row.tracePath)) {
+                const auto info = readTraceInfo(row.tracePath);
+                provenance.set("records",
+                               JsonValue(info.recordCount));
+                provenance.set("unique_code_lines",
+                               JsonValue(info.uniqueCodeLines));
+                provenance.set("file_bytes",
+                               JsonValue(info.fileBytes));
+                provenance.set("compression_ratio",
+                               JsonValue(info.compressionRatio()));
+            }
+        } else {
+            provenance.set("type", JsonValue("synthetic"));
+            provenance.set("profile", JsonValue(row.profile.name));
+        }
+
         for (std::size_t r = 0; r < grid.runs.size(); ++r) {
             const RunSpec &spec = grid.runs[r];
             const RunOptions &opts = spec.options;
@@ -287,6 +422,7 @@ sweepJson(const PolicyGrid &grid, const GridResults &results)
             JsonValue manifest = JsonValue::object();
             manifest.set("benchmark",
                          JsonValue(grid.workloads[w].name));
+            manifest.set("workload", provenance);
             manifest.set("policy", JsonValue(spec.l2Policy));
             manifest.set("label", JsonValue(spec.label));
             manifest.set("seed", JsonValue(opts.seed));

@@ -65,15 +65,56 @@ struct RunSpec
     }
 };
 
+/**
+ * One row of a sweep: a named workload, either synthetic (generated
+ * from a WorkloadProfile) or trace-backed (streamed from an EMTR or
+ * EMTC file on disk). Implicitly convertible from WorkloadProfile so
+ * profile-based call sites keep working unchanged.
+ */
+struct GridWorkload
+{
+    std::string name;
+    /** Generator parameters; used when tracePath is empty. */
+    trace::WorkloadProfile profile;
+    /** Path to an .emtr / .emtc trace; empty = synthetic. */
+    std::string tracePath;
+    /** Records dropped from the front of the trace (warmup skip). */
+    std::uint64_t skipRecords = 0;
+    /** Cap on served records before wrap (0 = whole trace). */
+    std::uint64_t maxRecords = 0;
+
+    GridWorkload() = default;
+    GridWorkload(const trace::WorkloadProfile &workload_profile)
+        : name(workload_profile.name), profile(workload_profile)
+    {
+    }
+    GridWorkload(std::string workload_name, std::string trace_path,
+                 std::uint64_t skip_records = 0,
+                 std::uint64_t max_records = 0)
+        : name(std::move(workload_name)),
+          tracePath(std::move(trace_path)),
+          skipRecords(skip_records), maxRecords(max_records)
+    {
+    }
+
+    bool traceBacked() const { return !tracePath.empty(); }
+};
+
 /** A full sweep: every workload is run under every RunSpec. */
 struct PolicyGrid
 {
-    std::vector<trace::WorkloadProfile> workloads;
+    std::vector<GridWorkload> workloads;
     std::vector<RunSpec> runs;
 
     /** Uniform grid: the same options for every policy string. */
     static PolicyGrid
     sweep(std::vector<trace::WorkloadProfile> workloads,
+          const std::vector<std::string> &policies,
+          const RunOptions &options);
+
+    /** Mixed grid: workloads given directly (synthetic or trace). */
+    static PolicyGrid
+    sweep(std::vector<GridWorkload> workloads,
           const std::vector<std::string> &policies,
           const RunOptions &options);
 
@@ -133,6 +174,11 @@ class GridResults
      * runs/sec, Minst/s and the parallel speedup over the serial
      * cell-time sum.
      */
+    stats::Table timingTable(
+        const std::vector<GridWorkload> &workloads) const;
+
+    /** Profile-vector convenience (bench harnesses that keep their
+     *  own WorkloadProfile lists). */
     stats::Table timingTable(
         const std::vector<trace::WorkloadProfile> &workloads) const;
 

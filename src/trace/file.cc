@@ -12,7 +12,6 @@ namespace
 
 constexpr char kMagic[4] = {'E', 'M', 'T', 'R'};
 constexpr std::uint32_t kVersion = 1;
-constexpr std::size_t kRecordBytes = 8 + 8 + 8 + 1 + 1;
 
 void
 packRecord(const TraceRecord &rec, unsigned char *out)
@@ -36,9 +35,16 @@ unpackRecord(const unsigned char *in)
     return rec;
 }
 
+[[noreturn]] void
+fail(const std::string &path, const std::string &defect)
+{
+    throw std::runtime_error("FileTraceSource: " + path + ": " +
+                             defect);
+}
+
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path)
+TraceWriter::TraceWriter(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "wb");
     if (!file_)
@@ -59,11 +65,30 @@ TraceWriter::~TraceWriter()
 void
 TraceWriter::append(const TraceRecord &rec)
 {
-    unsigned char buffer[kRecordBytes];
-    packRecord(rec, buffer);
-    if (std::fwrite(buffer, 1, kRecordBytes, file_) != kRecordBytes)
-        throw std::runtime_error("TraceWriter: short write");
-    ++count_;
+    append(&rec, 1);
+}
+
+void
+TraceWriter::append(const TraceRecord *recs, std::size_t n)
+{
+    // Pack into a stack buffer and write in chunks: one fwrite per
+    // ~157 records instead of one per record.
+    unsigned char buffer[157 * kEmtrRecordBytes];
+    constexpr std::size_t kChunk =
+        sizeof(buffer) / kEmtrRecordBytes;
+    std::size_t done = 0;
+    while (done < n) {
+        const std::size_t batch = std::min(kChunk, n - done);
+        for (std::size_t i = 0; i < batch; ++i)
+            packRecord(recs[done + i],
+                       buffer + i * kEmtrRecordBytes);
+        if (std::fwrite(buffer, kEmtrRecordBytes, batch, file_) !=
+            batch)
+            throw std::runtime_error("TraceWriter: " + path_ +
+                                     ": short write");
+        done += batch;
+    }
+    count_ += n;
 }
 
 void
@@ -78,41 +103,82 @@ TraceWriter::finish()
     file_ = nullptr;
 }
 
-FileTraceSource::FileTraceSource(const std::string &path)
+FileTraceSource::FileTraceSource(const std::string &path,
+                                 std::uint64_t skip_records,
+                                 std::uint64_t max_records)
     : name_("trace:" + path)
 {
     std::FILE *file = std::fopen(path.c_str(), "rb");
     if (!file)
-        throw std::runtime_error("FileTraceSource: cannot open " +
-                                 path);
+        fail(path, "cannot open");
+    struct Closer
+    {
+        std::FILE *f;
+        ~Closer() { std::fclose(f); }
+    } closer{file};
+
     char magic[4];
     std::uint32_t version = 0;
     std::uint64_t count = 0;
     if (std::fread(magic, 1, 4, file) != 4 ||
-        std::memcmp(magic, kMagic, 4) != 0) {
-        std::fclose(file);
-        throw std::runtime_error("FileTraceSource: bad magic");
-    }
-    if (std::fread(&version, 4, 1, file) != 1 ||
-        version != kVersion) {
-        std::fclose(file);
-        throw std::runtime_error("FileTraceSource: bad version");
-    }
-    if (std::fread(&count, 8, 1, file) != 1 || count == 0) {
-        std::fclose(file);
-        throw std::runtime_error("FileTraceSource: empty trace");
-    }
+        std::memcmp(magic, kMagic, 4) != 0)
+        fail(path, "bad magic (not an EMTR trace)");
+    if (std::fread(&version, 4, 1, file) != 1)
+        fail(path, "truncated header");
+    if (version != kVersion)
+        fail(path, "unsupported version " + std::to_string(version) +
+                       " (expected " + std::to_string(kVersion) +
+                       ")");
+    if (std::fread(&count, 8, 1, file) != 1)
+        fail(path, "truncated header");
+    if (count == 0)
+        fail(path, "empty trace (header declares 0 records)");
+
+    // The payload must match the header's record count exactly: a
+    // short file is a truncation, trailing bytes are a count
+    // mismatch. Either way the header lied; refuse to replay.
+    std::fseek(file, 0, SEEK_END);
+    const long file_bytes = std::ftell(file);
+    const std::uint64_t expected =
+        kEmtrHeaderBytes + count * kEmtrRecordBytes;
+    if (file_bytes >= 0 &&
+        static_cast<std::uint64_t>(file_bytes) < expected)
+        fail(path, "truncated: header declares " +
+                       std::to_string(count) + " records (" +
+                       std::to_string(expected) +
+                       " bytes) but file holds " +
+                       std::to_string(file_bytes) + " bytes");
+    if (file_bytes >= 0 &&
+        static_cast<std::uint64_t>(file_bytes) > expected)
+        fail(path,
+             "record count mismatch: " +
+                 std::to_string(
+                     static_cast<std::uint64_t>(file_bytes) -
+                     expected) +
+                 " trailing bytes after the " +
+                 std::to_string(count) + " declared records");
+    std::fseek(file, static_cast<long>(kEmtrHeaderBytes), SEEK_SET);
+
     records_.reserve(count);
-    unsigned char buffer[kRecordBytes];
+    unsigned char buffer[kEmtrRecordBytes];
     for (std::uint64_t i = 0; i < count; ++i) {
-        if (std::fread(buffer, 1, kRecordBytes, file) !=
-            kRecordBytes) {
-            std::fclose(file);
-            throw std::runtime_error("FileTraceSource: truncated");
-        }
+        if (std::fread(buffer, 1, kEmtrRecordBytes, file) !=
+            kEmtrRecordBytes)
+            fail(path, "truncated at record " + std::to_string(i) +
+                           " of " + std::to_string(count));
         records_.push_back(unpackRecord(buffer));
     }
-    std::fclose(file);
+
+    if (skip_records >= records_.size())
+        fail(path, "skip_records " + std::to_string(skip_records) +
+                       " consumes the whole trace (" +
+                       std::to_string(records_.size()) + " records)");
+    if (skip_records > 0)
+        records_.erase(records_.begin(),
+                       records_.begin() +
+                           static_cast<std::ptrdiff_t>(skip_records));
+    if (max_records > 0 && max_records < records_.size())
+        records_.resize(max_records);
 }
 
 TraceRecord
@@ -144,6 +210,13 @@ FileTraceSource::fill(TraceRecord *out, std::size_t n)
             ++wraps_;
         }
     }
+}
+
+void
+FileTraceSource::skipRecords(std::uint64_t n)
+{
+    wraps_ += (pos_ + n) / records_.size();
+    pos_ = (pos_ + n) % records_.size();
 }
 
 } // namespace emissary::trace

@@ -5,12 +5,16 @@
  * (or against converted traces from external simulators).
  *
  * Format: a 16-byte header ("EMTR", version, record count) followed
- * by packed fixed-width records.
+ * by packed fixed-width records. For large traces prefer the
+ * compressed, block-indexed EMTC container (workload/emtc.hh); EMTR
+ * is the uncompressed interchange format and is fully buffered in
+ * RAM on replay.
  */
 
 #ifndef EMISSARY_TRACE_FILE_HH
 #define EMISSARY_TRACE_FILE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -21,6 +25,12 @@
 
 namespace emissary::trace
 {
+
+/** Packed on-disk bytes of one EMTR record. */
+constexpr std::size_t kEmtrRecordBytes = 8 + 8 + 8 + 1 + 1;
+
+/** Bytes of the fixed EMTR header. */
+constexpr std::size_t kEmtrHeaderBytes = 16;
 
 /** Writes a committed-path trace to a binary file. */
 class TraceWriter
@@ -39,6 +49,9 @@ class TraceWriter
     /** Append one record. */
     void append(const TraceRecord &rec);
 
+    /** Append @p n records (batched pack + single write). */
+    void append(const TraceRecord *recs, std::size_t n);
+
     /** Flush, back-patch the header count, and close. */
     void finish();
 
@@ -46,6 +59,7 @@ class TraceWriter
 
   private:
     std::FILE *file_ = nullptr;
+    std::string path_;
     std::uint64_t count_ = 0;
     bool finished_ = false;
 };
@@ -54,25 +68,42 @@ class TraceWriter
  * Replays a binary trace file; wraps around at the end so the
  * simulator's infinite-stream contract holds (a wrap is only sound
  * when the recorded slice ends near where it began, which holds for
- * dispatcher-loop workloads).
+ * dispatcher-loop workloads; see docs/workloads.md).
+ *
+ * Every parse failure throws std::runtime_error naming the path and
+ * the specific defect: bad magic, unsupported version, truncation
+ * against the header's record count, or trailing bytes after the
+ * declared records.
  */
 class FileTraceSource : public TraceSource
 {
   public:
     /**
      * @param path Trace file to load (fully buffered in memory).
-     * @throws std::runtime_error on open/parse failure.
+     * @param skip_records Records dropped from the front before the
+     *        served window starts (catalog warmup-skip).
+     * @param max_records Serve only the first @p max_records of the
+     *        remaining stream, wrapping within that window
+     *        (0 = all).
+     * @throws std::runtime_error on open/parse failure, or when
+     *         skip_records consumes the whole trace.
      */
-    explicit FileTraceSource(const std::string &path);
+    explicit FileTraceSource(const std::string &path,
+                             std::uint64_t skip_records = 0,
+                             std::uint64_t max_records = 0);
 
     TraceRecord next() override;
     void fill(TraceRecord *out, std::size_t n) override;
     const char *name() const override { return name_.c_str(); }
 
+    /** Records in the served (post skip/limit) window. */
     std::uint64_t recordCount() const { return records_.size(); }
 
-    /** Times the replay wrapped back to record zero. */
+    /** Times the replay wrapped back to the window start. */
     std::uint64_t wraps() const { return wraps_; }
+
+    /** Advance the cursor @p n records without serving them. */
+    void skipRecords(std::uint64_t n);
 
   private:
     std::vector<TraceRecord> records_;
@@ -83,7 +114,11 @@ class FileTraceSource : public TraceSource
 
 /**
  * Decorator that tees a source into a TraceWriter while the pipeline
- * consumes it.
+ * consumes it. Overrides fill() so the batched frontend feed records
+ * whole batches through the inner source's bulk path instead of
+ * teeing one record at a time through virtual next() calls; a
+ * recorded-then-replayed run is bit-identical to the live run
+ * (tests/test_tracefile.cpp).
  */
 class RecordingSource : public TraceSource
 {
@@ -99,6 +134,13 @@ class RecordingSource : public TraceSource
         const TraceRecord rec = inner_.next();
         writer_.append(rec);
         return rec;
+    }
+
+    void
+    fill(TraceRecord *out, std::size_t n) override
+    {
+        inner_.fill(out, n);
+        writer_.append(out, n);
     }
 
     const char *name() const override { return inner_.name(); }

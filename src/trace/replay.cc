@@ -1,9 +1,34 @@
 #include "trace/replay.hh"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace emissary::trace
 {
+
+void
+RecordBuffer::appendFrom(TraceSource &source, std::uint64_t records)
+{
+    constexpr std::size_t kChunk = 4096;
+    TraceRecord chunk[kChunk];
+    std::uint64_t remaining = records;
+    while (remaining > 0) {
+        const std::size_t n = static_cast<std::size_t>(
+            remaining < kChunk ? remaining : kChunk);
+        source.fill(chunk, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const TraceRecord &rec = chunk[i];
+            pc_.push_back(rec.pc);
+            nextPc_.push_back(rec.nextPc);
+            memAddr_.push_back(rec.memAddr);
+            assert(static_cast<std::uint8_t>(rec.cls) < 0x80);
+            clsTaken_.push_back(
+                static_cast<std::uint8_t>(rec.cls) |
+                (rec.taken ? std::uint8_t{0x80} : std::uint8_t{0}));
+        }
+        remaining -= n;
+    }
+}
 
 RecordBuffer::RecordBuffer(const SyntheticProgram &program,
                            std::uint64_t records)
@@ -19,26 +44,30 @@ RecordBuffer::RecordBuffer(const SyntheticProgram &program,
     codeBitmapWords_ = (code_lines + 63) / 64;
 
     auto generator = std::make_unique<SyntheticExecutor>(program);
-    constexpr std::size_t kChunk = 4096;
-    TraceRecord chunk[kChunk];
-    std::uint64_t remaining = records;
-    while (remaining > 0) {
-        const std::size_t n = static_cast<std::size_t>(
-            remaining < kChunk ? remaining : kChunk);
-        generator->fill(chunk, n);
-        for (std::size_t i = 0; i < n; ++i) {
-            const TraceRecord &rec = chunk[i];
-            pc_.push_back(rec.pc);
-            nextPc_.push_back(rec.nextPc);
-            memAddr_.push_back(rec.memAddr);
-            assert(static_cast<std::uint8_t>(rec.cls) < 0x80);
-            clsTaken_.push_back(
-                static_cast<std::uint8_t>(rec.cls) |
-                (rec.taken ? std::uint8_t{0x80} : std::uint8_t{0}));
-        }
-        remaining -= n;
-    }
+    appendFrom(*generator, records);
     tail_ = std::move(generator);
+}
+
+RecordBuffer::RecordBuffer(TraceSource &source, std::uint64_t records,
+                           TailFactory tail_factory)
+    : name_(source.name()), tailFactory_(std::move(tail_factory))
+{
+    pc_.reserve(records);
+    nextPc_.reserve(records);
+    memAddr_.reserve(records);
+    clsTaken_.reserve(records);
+    appendFrom(source, records);
+}
+
+std::unique_ptr<TraceSource>
+RecordBuffer::makeTail(std::uint64_t position) const
+{
+    if (!tailFactory_)
+        throw std::logic_error(
+            "RecordBuffer: cursor overran a buffer with no tail "
+            "continuation (" +
+            name_ + ")");
+    return tailFactory_(position);
 }
 
 ReplayCursor::ReplayCursor(std::shared_ptr<const RecordBuffer> buffer)
@@ -56,6 +85,11 @@ ReplayCursor::name() const
 void
 ReplayCursor::touchCode(std::uint64_t pc)
 {
+    // Trace-backed buffers keep no bitmap (footprint comes from the
+    // container's metadata); arbitrary trace PCs would not fit the
+    // synthetic code-segment indexing anyway.
+    if (touchedBitmap_.empty())
+        return;
     const std::uint64_t line =
         (pc - SyntheticProgram::kCodeBase) / 64;
     const std::uint64_t word = line / 64;
@@ -66,23 +100,31 @@ ReplayCursor::touchCode(std::uint64_t pc)
     }
 }
 
-SyntheticExecutor &
+TraceSource &
 ReplayCursor::tail()
 {
-    if (!tailExec_) {
-        // Overran the buffer: continue the stream from the generator
-        // snapshot. The snapshot's footprint bitmap already covers
-        // every buffered record, so the count hands over exactly.
-        tailExec_ = std::make_unique<SyntheticExecutor>(
-            buffer_->tailExecutor());
+    if (!tailSource_) {
+        if (buffer_->synthetic()) {
+            // Overran the buffer: continue the stream from the
+            // generator snapshot. The snapshot's footprint bitmap
+            // already covers every buffered record, so the count
+            // hands over exactly.
+            auto exec = std::make_unique<SyntheticExecutor>(
+                buffer_->tailExecutor());
+            tailExecutor_ = exec.get();
+            tailSource_ = std::move(exec);
+        } else {
+            tailSource_ = buffer_->makeTail(buffer_->size());
+        }
     }
-    return *tailExec_;
+    return *tailSource_;
 }
 
 std::uint64_t
 ReplayCursor::uniqueCodeLines() const
 {
-    return tailExec_ ? tailExec_->uniqueCodeLines() : touchedLines_;
+    return tailExecutor_ ? tailExecutor_->uniqueCodeLines()
+                         : touchedLines_;
 }
 
 TraceRecord
@@ -109,8 +151,10 @@ ReplayCursor::fill(TraceRecord *out, std::size_t n)
         out[i] = buffer_->record(pos_);
         touchCode(out[i].pc);
     }
-    for (; i < n; ++i, ++pos_)
-        out[i] = tail().next();
+    if (i < n) {
+        tail().fill(out + i, n - i);
+        pos_ += n - i;
+    }
 }
 
 } // namespace emissary::trace

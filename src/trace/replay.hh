@@ -27,6 +27,7 @@
 #define EMISSARY_TRACE_REPLAY_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -73,6 +74,29 @@ class RecordBuffer
      */
     RecordBuffer(const SyntheticProgram &program, std::uint64_t records);
 
+    /**
+     * Produces a TraceSource continuing the stream from absolute
+     * record position @p position (for cursor overrun on buffers not
+     * backed by a synthetic executor).
+     */
+    using TailFactory = std::function<std::unique_ptr<TraceSource>(
+        std::uint64_t position)>;
+
+    /**
+     * Pack the next @p records pulled from @p source — the generic
+     * path the grid engine uses for file-backed workloads (the
+     * source's wrap-around is unrolled into the buffer). No
+     * footprint bitmap is kept: trace-backed cells take their
+     * Fig. 4 footprint from the container's pack-time metadata, not
+     * from the replay (docs/workloads.md).
+     *
+     * @param tail_factory Optional overrun fallback; a cursor that
+     *        runs off the buffer continues from the source this
+     *        produces. Without one, overrun throws.
+     */
+    RecordBuffer(TraceSource &source, std::uint64_t records,
+                 TailFactory tail_factory);
+
     std::uint64_t size() const { return pc_.size(); }
 
     /** Packed bytes held (excludes the tail snapshot). */
@@ -99,14 +123,26 @@ class RecordBuffer
     }
 
     /** Words of the unique-code-line bitmap a cursor must allocate
-     *  (same sizing as SyntheticExecutor's footprint bitmap). */
+     *  (same sizing as SyntheticExecutor's footprint bitmap; 0 for
+     *  trace-backed buffers, which keep no bitmap). */
     std::uint64_t codeBitmapWords() const { return codeBitmapWords_; }
 
-    /** Generator snapshot at end-of-buffer; cursors that exhaust the
-     *  buffer copy it and continue the stream live. */
+    /** True when generated from a SyntheticProgram (the buffer then
+     *  carries a tail executor snapshot and a footprint bitmap). */
+    bool synthetic() const { return tail_ != nullptr; }
+
+    /** Generator snapshot at end-of-buffer; cursors that exhaust a
+     *  synthetic buffer copy it and continue the stream live. */
     const SyntheticExecutor &tailExecutor() const { return *tail_; }
 
+    /** Overrun continuation for a trace-backed buffer.
+     *  @throws std::logic_error when no tail factory was given. */
+    std::unique_ptr<TraceSource>
+    makeTail(std::uint64_t position) const;
+
   private:
+    void appendFrom(TraceSource &source, std::uint64_t records);
+
     std::vector<std::uint64_t> pc_;
     std::vector<std::uint64_t> nextPc_;
     std::vector<std::uint64_t> memAddr_;
@@ -115,6 +151,7 @@ class RecordBuffer
     std::string name_;
     std::uint64_t codeBitmapWords_ = 0;
     std::unique_ptr<SyntheticExecutor> tail_;
+    TailFactory tailFactory_;
 };
 
 /**
@@ -138,23 +175,27 @@ class ReplayCursor final : public TraceSource
     std::uint64_t position() const { return pos_; }
 
     /** Unique 64 B instruction lines touched so far — matches the
-     *  live executor's count at the same position exactly. */
+     *  live executor's count at the same position exactly. Always 0
+     *  for trace-backed buffers (no bitmap; see RecordBuffer). */
     std::uint64_t uniqueCodeLines() const;
 
     /** True once the cursor ran past the buffer and switched to the
-     *  live tail executor (diagnostic; should not happen when the
+     *  tail continuation (diagnostic; should not happen when the
      *  buffer was sized with recordsForWindow). */
-    bool overran() const { return tailExec_ != nullptr; }
+    bool overran() const { return tailSource_ != nullptr; }
 
   private:
     void touchCode(std::uint64_t pc);
-    SyntheticExecutor &tail();
+    TraceSource &tail();
 
     std::shared_ptr<const RecordBuffer> buffer_;
     std::uint64_t pos_ = 0;
     std::vector<std::uint64_t> touchedBitmap_;
     std::uint64_t touchedLines_ = 0;
-    std::unique_ptr<SyntheticExecutor> tailExec_;
+    std::unique_ptr<TraceSource> tailSource_;
+    /** Non-null when the tail is a copied executor snapshot (the
+     *  footprint count then hands over to the snapshot's bitmap). */
+    const SyntheticExecutor *tailExecutor_ = nullptr;
 };
 
 } // namespace emissary::trace

@@ -1,0 +1,40 @@
+#include "util/crc32.hh"
+
+#include <array>
+
+namespace emissary
+{
+
+namespace
+{
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t value = i;
+        for (int bit = 0; bit < 8; ++bit)
+            value = (value >> 1) ^ ((value & 1) ? kPolynomial : 0);
+        table[i] = value;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(std::uint32_t crc, const void *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table = makeTable();
+    const unsigned char *bytes =
+        static_cast<const unsigned char *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xff];
+    return ~crc;
+}
+
+} // namespace emissary

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges.
+ *
+ * Used by the EMTC trace container to checksum every compressed
+ * block and the block index, so on-disk corruption surfaces as a
+ * named error at read time instead of silent metric drift.
+ */
+
+#ifndef EMISSARY_UTIL_CRC32_HH
+#define EMISSARY_UTIL_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace emissary
+{
+
+/**
+ * Update a running CRC-32 with @p size bytes.
+ * @param crc Previous return value, or 0 for the first chunk.
+ */
+std::uint32_t crc32(std::uint32_t crc, const void *data,
+                    std::size_t size);
+
+/** One-shot CRC-32 of a byte range. */
+inline std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    return crc32(0, data, size);
+}
+
+} // namespace emissary
+
+#endif // EMISSARY_UTIL_CRC32_HH

@@ -1,0 +1,319 @@
+#include "workload/champsim.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "workload/emtc.hh"
+
+namespace emissary::workload
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &path, const std::string &defect)
+{
+    throw std::runtime_error("champsim import: " + path + ": " +
+                             defect);
+}
+
+bool
+hasRegister(const unsigned char *regs, std::size_t n,
+            unsigned char reg)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (regs[i] == reg)
+            return true;
+    return false;
+}
+
+bool
+hasOtherRegister(const unsigned char *regs, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (regs[i] != 0 && regs[i] != kChampSimRegStackPointer &&
+            regs[i] != kChampSimRegFlags &&
+            regs[i] != kChampSimRegInstructionPointer)
+            return true;
+    return false;
+}
+
+std::uint64_t
+firstMemoryOperand(const ChampSimInstr &instr)
+{
+    for (std::uint64_t addr : instr.srcMemory)
+        if (addr != 0)
+            return addr;
+    for (std::uint64_t addr : instr.destMemory)
+        if (addr != 0)
+            return addr;
+    return 0;
+}
+
+} // namespace
+
+ChampSimInstr
+unpackChampSim(const unsigned char *raw)
+{
+    ChampSimInstr instr;
+    std::memcpy(&instr.ip, raw, 8);
+    instr.isBranch = raw[8] != 0;
+    instr.branchTaken = raw[9] != 0;
+    std::memcpy(instr.destRegisters, raw + 10, kChampSimDestinations);
+    std::memcpy(instr.srcRegisters, raw + 12, kChampSimSources);
+    std::memcpy(instr.destMemory, raw + 16,
+                8 * kChampSimDestinations);
+    std::memcpy(instr.srcMemory, raw + 32, 8 * kChampSimSources);
+    return instr;
+}
+
+void
+packChampSim(const ChampSimInstr &instr, unsigned char *raw)
+{
+    std::memset(raw, 0, kChampSimRecordBytes);
+    std::memcpy(raw, &instr.ip, 8);
+    raw[8] = instr.isBranch ? 1 : 0;
+    raw[9] = instr.branchTaken ? 1 : 0;
+    std::memcpy(raw + 10, instr.destRegisters, kChampSimDestinations);
+    std::memcpy(raw + 12, instr.srcRegisters, kChampSimSources);
+    std::memcpy(raw + 16, instr.destMemory,
+                8 * kChampSimDestinations);
+    std::memcpy(raw + 32, instr.srcMemory, 8 * kChampSimSources);
+}
+
+trace::InstClass
+classifyChampSim(const ChampSimInstr &instr)
+{
+    if (!instr.isBranch) {
+        // Read-modify-write counts as a Load: the read is what the
+        // L1D access stream sees first.
+        for (std::uint64_t addr : instr.srcMemory)
+            if (addr != 0)
+                return trace::InstClass::Load;
+        for (std::uint64_t addr : instr.destMemory)
+            if (addr != 0)
+                return trace::InstClass::Store;
+        return trace::InstClass::IntAlu;
+    }
+
+    const bool reads_sp = hasRegister(
+        instr.srcRegisters, kChampSimSources, kChampSimRegStackPointer);
+    const bool reads_flags = hasRegister(
+        instr.srcRegisters, kChampSimSources, kChampSimRegFlags);
+    const bool reads_ip =
+        hasRegister(instr.srcRegisters, kChampSimSources,
+                    kChampSimRegInstructionPointer);
+    const bool reads_other =
+        hasOtherRegister(instr.srcRegisters, kChampSimSources);
+    const bool writes_sp = hasRegister(instr.destRegisters,
+                                       kChampSimDestinations,
+                                       kChampSimRegStackPointer);
+    const bool writes_ip =
+        hasRegister(instr.destRegisters, kChampSimDestinations,
+                    kChampSimRegInstructionPointer);
+
+    // ChampSim's tracer encodes the branch kind purely in which of
+    // IP/SP/FLAGS the instruction reads and writes.
+    if (writes_ip && !writes_sp && !reads_sp) {
+        if (reads_ip && !reads_flags && !reads_other)
+            return trace::InstClass::DirectJump;
+        if (reads_ip && reads_flags && !reads_other)
+            return trace::InstClass::CondBranch;
+        if (!reads_ip && !reads_flags)
+            return trace::InstClass::IndirectJump;
+    }
+    if (writes_ip && writes_sp && reads_sp && !reads_flags) {
+        if (reads_ip && !reads_other)
+            return trace::InstClass::Call;
+        if (!reads_ip && reads_other)
+            return trace::InstClass::IndirectCall;
+        if (!reads_ip && !reads_other)
+            return trace::InstClass::Return;
+    }
+    // Unmatched pattern (e.g. a REP-string quirk): degrade to an
+    // indirect jump so the target is never assumed computable.
+    return trace::InstClass::IndirectJump;
+}
+
+ChampSimImportStats
+importChampSim(const std::string &input_path,
+               const std::string &output_path,
+               const std::string &name, std::uint64_t max_records)
+{
+    std::FILE *file = std::fopen(input_path.c_str(), "rb");
+    if (!file)
+        fail(input_path, "cannot open");
+    struct Closer
+    {
+        std::FILE *f;
+        ~Closer() { std::fclose(f); }
+    } closer{file};
+
+    std::string workload_name = name;
+    if (workload_name.empty()) {
+        const std::size_t slash = input_path.find_last_of('/');
+        workload_name = slash == std::string::npos
+                            ? input_path
+                            : input_path.substr(slash + 1);
+    }
+    PackedTraceWriter writer(output_path, workload_name);
+    ChampSimImportStats stats;
+
+    // One-record lookahead: record i commits with nextPc = ip of
+    // record i+1. The final record closes the loop back to the first
+    // ip so the committed path chains across the replay wrap.
+    auto emit = [&](const ChampSimInstr &instr,
+                    std::uint64_t next_ip) {
+        trace::TraceRecord rec;
+        rec.pc = instr.ip;
+        rec.nextPc = next_ip;
+        const trace::InstClass cls = classifyChampSim(instr);
+        rec.cls = cls;
+        rec.taken = cls == trace::InstClass::CondBranch
+                        ? instr.branchTaken
+                        : trace::isControl(cls);
+        rec.memAddr = trace::isMemory(cls)
+                          ? firstMemoryOperand(instr)
+                          : 0;
+        writer.append(rec);
+
+        ++stats.instructions;
+        if (instr.isBranch) {
+            ++stats.branches;
+            if (!trace::isControl(cls))
+                ++stats.unclassifiedBranches;
+        }
+        if (cls == trace::InstClass::Load)
+            ++stats.loads;
+        else if (cls == trace::InstClass::Store)
+            ++stats.stores;
+    };
+
+    unsigned char raw[kChampSimRecordBytes];
+    ChampSimInstr pending;
+    bool have_pending = false;
+    std::uint64_t first_ip = 0;
+    std::uint64_t consumed = 0;
+    while (max_records == 0 || consumed < max_records) {
+        const std::size_t got =
+            std::fread(raw, 1, kChampSimRecordBytes, file);
+        if (got == 0)
+            break;
+        if (got != kChampSimRecordBytes)
+            fail(input_path,
+                 "truncated record " + std::to_string(consumed) +
+                     " (" + std::to_string(got) + " of " +
+                     std::to_string(kChampSimRecordBytes) +
+                     " bytes)");
+        const ChampSimInstr instr = unpackChampSim(raw);
+        if (have_pending)
+            emit(pending, instr.ip);
+        else
+            first_ip = instr.ip;
+        pending = instr;
+        have_pending = true;
+        ++consumed;
+    }
+    if (!have_pending)
+        fail(input_path, "empty trace (no records)");
+    emit(pending, first_ip);
+
+    writer.finish();
+    return stats;
+}
+
+std::uint64_t
+exportChampSim(trace::TraceSource &source, std::uint64_t records,
+               const std::string &output_path)
+{
+    std::FILE *file = std::fopen(output_path.c_str(), "wb");
+    if (!file)
+        fail(output_path, "cannot open for writing");
+    struct Closer
+    {
+        std::FILE *f;
+        ~Closer() { std::fclose(f); }
+    } closer{file};
+
+    constexpr std::size_t kChunk = 1024;
+    std::vector<trace::TraceRecord> recs(kChunk);
+    std::vector<unsigned char> raw(kChunk * kChampSimRecordBytes);
+    std::uint64_t written = 0;
+    while (written < records) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kChunk, records - written));
+        source.fill(recs.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const trace::TraceRecord &rec = recs[i];
+            ChampSimInstr instr;
+            instr.ip = rec.pc;
+            instr.isBranch = trace::isControl(rec.cls);
+            instr.branchTaken =
+                rec.cls == trace::InstClass::CondBranch
+                    ? rec.taken
+                    : instr.isBranch;
+            // Registers chosen to invert classifyChampSim exactly.
+            switch (rec.cls) {
+              case trace::InstClass::CondBranch:
+                instr.srcRegisters[0] =
+                    kChampSimRegInstructionPointer;
+                instr.srcRegisters[1] = kChampSimRegFlags;
+                instr.destRegisters[0] =
+                    kChampSimRegInstructionPointer;
+                break;
+              case trace::InstClass::DirectJump:
+                instr.srcRegisters[0] =
+                    kChampSimRegInstructionPointer;
+                instr.destRegisters[0] =
+                    kChampSimRegInstructionPointer;
+                break;
+              case trace::InstClass::IndirectJump:
+                instr.srcRegisters[0] = 1;  // Target register.
+                instr.destRegisters[0] =
+                    kChampSimRegInstructionPointer;
+                break;
+              case trace::InstClass::Call:
+                instr.srcRegisters[0] =
+                    kChampSimRegInstructionPointer;
+                instr.srcRegisters[1] = kChampSimRegStackPointer;
+                instr.destRegisters[0] =
+                    kChampSimRegInstructionPointer;
+                instr.destRegisters[1] = kChampSimRegStackPointer;
+                break;
+              case trace::InstClass::IndirectCall:
+                instr.srcRegisters[0] = kChampSimRegStackPointer;
+                instr.srcRegisters[1] = 1;  // Target register.
+                instr.destRegisters[0] =
+                    kChampSimRegInstructionPointer;
+                instr.destRegisters[1] = kChampSimRegStackPointer;
+                break;
+              case trace::InstClass::Return:
+                instr.srcRegisters[0] = kChampSimRegStackPointer;
+                instr.destRegisters[0] =
+                    kChampSimRegInstructionPointer;
+                instr.destRegisters[1] = kChampSimRegStackPointer;
+                break;
+              case trace::InstClass::Load:
+                instr.srcMemory[0] = rec.memAddr;
+                break;
+              case trace::InstClass::Store:
+                instr.destMemory[0] = rec.memAddr;
+                break;
+              default:
+                break;  // IntAlu / IntMul / FpAlu: plain record.
+            }
+            packChampSim(instr,
+                         raw.data() + i * kChampSimRecordBytes);
+        }
+        if (std::fwrite(raw.data(), kChampSimRecordBytes, n, file) !=
+            n)
+            fail(output_path, "short write");
+        written += n;
+    }
+    return written;
+}
+
+} // namespace emissary::workload

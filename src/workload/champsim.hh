@@ -1,0 +1,120 @@
+/**
+ * @file
+ * ChampSim trace importer: convert ChampSim's public
+ * `trace_instr_format` (the 64-byte fixed record its Pin tracer
+ * emits) into the EMTC container, mapping the tracer's
+ * register-usage branch encoding onto our InstClass taxonomy and
+ * synthesizing the nextPc ground truth from each record's successor.
+ *
+ * The importer reads *decompressed* input; ChampSim traces ship
+ * xz-compressed, so the recipe is
+ *
+ *     xz -dc trace.champsimtrace.xz > trace.bin
+ *     trace_pack import-champsim trace.bin trace.emtc
+ *
+ * which keeps liblzma out of the build (docs/workloads.md).
+ */
+
+#ifndef EMISSARY_WORKLOAD_CHAMPSIM_HH
+#define EMISSARY_WORKLOAD_CHAMPSIM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/record.hh"
+
+namespace emissary::workload
+{
+
+/** Bytes of one ChampSim trace_instr_format record. */
+constexpr std::size_t kChampSimRecordBytes = 64;
+
+/** ChampSim's fixed register/memory operand slots. */
+constexpr std::size_t kChampSimDestinations = 2;
+constexpr std::size_t kChampSimSources = 4;
+
+/** The x86 register numbers ChampSim's tracer treats specially. */
+constexpr unsigned char kChampSimRegStackPointer = 6;
+constexpr unsigned char kChampSimRegFlags = 25;
+constexpr unsigned char kChampSimRegInstructionPointer = 26;
+
+/** One decoded ChampSim record (host-endian fields). */
+struct ChampSimInstr
+{
+    std::uint64_t ip = 0;
+    bool isBranch = false;
+    bool branchTaken = false;
+    unsigned char destRegisters[kChampSimDestinations] = {};
+    unsigned char srcRegisters[kChampSimSources] = {};
+    std::uint64_t destMemory[kChampSimDestinations] = {};
+    std::uint64_t srcMemory[kChampSimSources] = {};
+};
+
+/** Unpack one 64-byte ChampSim record. */
+ChampSimInstr unpackChampSim(const unsigned char *raw);
+
+/** Pack one ChampSim record (fixture generation / tests). */
+void packChampSim(const ChampSimInstr &instr, unsigned char *raw);
+
+/**
+ * Classify a ChampSim record into our taxonomy using the tracer's
+ * register-usage convention (reads/writes of IP, SP and FLAGS):
+ * conditional and direct control flow, indirect jumps/calls and
+ * returns map directly; non-branches become Load/Store when a
+ * memory operand is present, IntAlu otherwise. A branch pattern the
+ * convention does not cover degrades to IndirectJump, which is the
+ * conservative choice for the front-end model (predicted via
+ * ITTAGE, never assumed fall-through).
+ */
+trace::InstClass classifyChampSim(const ChampSimInstr &instr);
+
+/** Per-class tallies of one import. */
+struct ChampSimImportStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    /** Branch records that fell back to IndirectJump. */
+    std::uint64_t unclassifiedBranches = 0;
+};
+
+/**
+ * Convert a decompressed ChampSim trace file into an EMTC container.
+ *
+ * nextPc ground truth is synthesized from the next record's ip; the
+ * final record's nextPc is the first record's ip so the committed
+ * path chains across the replay wrap (docs/workloads.md discusses
+ * when that is sound). memAddr takes the first populated memory
+ * operand (sources first).
+ *
+ * @param input_path Decompressed ChampSim trace ("-" is not
+ *        supported; use a real file or a process substitution).
+ * @param output_path EMTC container to write.
+ * @param name Workload display name embedded in the container
+ *        (defaults to the input filename).
+ * @param max_records Import at most this many records (0 = all).
+ * @throws std::runtime_error naming the path and defect on I/O
+ *         errors, a truncated record, or an empty input.
+ */
+ChampSimImportStats importChampSim(const std::string &input_path,
+                                   const std::string &output_path,
+                                   const std::string &name = "",
+                                   std::uint64_t max_records = 0);
+
+/**
+ * Export a TraceSource into ChampSim's trace_instr_format
+ * (fixture/testing aid — the inverse mapping of classifyChampSim,
+ * so importing the result reproduces the control flow; IntMul/FpAlu
+ * degrade to IntAlu, which is the information the ChampSim format
+ * can carry).
+ *
+ * @return Records written.
+ */
+std::uint64_t exportChampSim(trace::TraceSource &source,
+                             std::uint64_t records,
+                             const std::string &output_path);
+
+} // namespace emissary::workload
+
+#endif // EMISSARY_WORKLOAD_CHAMPSIM_HH

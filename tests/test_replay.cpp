@@ -220,8 +220,9 @@ TEST(ReplayRun, GridReplayMatchesBudgetDisabledLiveGrid)
     options.warmupInstructions = 20'000;
     options.measureInstructions = 60'000;
     const core::PolicyGrid grid = core::PolicyGrid::sweep(
-        {trace::profileByName("tomcat"),
-         trace::profileByName("kafka")},
+        std::vector<trace::WorkloadProfile>{
+            trace::profileByName("tomcat"),
+            trace::profileByName("kafka")},
         {"TPLRU", "P(2):S&E", "M:R(1/2)"}, options);
     core::ThreadPool pool(2);
 

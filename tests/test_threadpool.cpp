@@ -187,8 +187,9 @@ TEST(RunGrid, MatchesDirectRunPolicyAndOrdersResults)
     const Metrics direct = runPolicy(program, "P(2):S&E", options);
 
     const PolicyGrid grid = PolicyGrid::sweep(
-        {trace::profileByName("tomcat")}, {"TPLRU", "P(2):S&E"},
-        options);
+        std::vector<trace::WorkloadProfile>{
+            trace::profileByName("tomcat")},
+        {"TPLRU", "P(2):S&E"}, options);
     ThreadPool pool(2);
     const GridResults results = runGrid(grid, pool);
 
@@ -209,7 +210,8 @@ TEST(RunGrid, BadPolicyNotationThrowsBeforeAnyRun)
     options.warmupInstructions = 1'000;
     options.measureInstructions = 2'000;
     const PolicyGrid grid = PolicyGrid::sweep(
-        {trace::profileByName("tomcat")},
+        std::vector<trace::WorkloadProfile>{
+            trace::profileByName("tomcat")},
         {"TPLRU", "NOT-A-POLICY"}, options);
     ThreadPool pool(2);
     EXPECT_THROW(runGrid(grid, pool), std::invalid_argument);
@@ -223,7 +225,9 @@ TEST(RunGrid, CellFailuresPropagateAfterStragglersFinish)
     options.warmupInstructions = 1'000;
     options.measureInstructions = 0;
     const PolicyGrid grid = PolicyGrid::sweep(
-        {trace::profileByName("tomcat")}, {"TPLRU"}, options);
+        std::vector<trace::WorkloadProfile>{
+            trace::profileByName("tomcat")},
+        {"TPLRU"}, options);
     ThreadPool pool(2);
     EXPECT_THROW(runGrid(grid, pool), std::invalid_argument);
 }

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/catalog.hh"
 #include "core/experiment.hh"
 #include "core/grid.hh"
 #include "core/observability.hh"
@@ -40,6 +41,7 @@
 #include "trace/executor.hh"
 #include "trace/file.hh"
 #include "util/strutil.hh"
+#include "workload/emtc.hh"
 
 namespace
 {
@@ -76,7 +78,12 @@ usage(const char *argv0)
         "  --benchmark NAME     suite benchmark (default tomcat)\n"
         "  --list               list suite benchmarks and exit\n"
         "  --trace FILE         replay a recorded trace instead\n"
+        "                       (.emtc containers stream; .emtr/.trc\n"
+        "                       files are fully buffered)\n"
         "  --record FILE        record the trace while simulating\n"
+        "  --catalog FILE       sweep the workloads of a JSON\n"
+        "                       manifest (docs/workloads.md);\n"
+        "                       --benchmarks selects by name\n"
         "  --policy SPEC        L2 policy, paper notation "
         "(default TPLRU)\n"
         "  --benchmarks A,B,C   sweep: run every listed benchmark\n"
@@ -191,6 +198,7 @@ main(int argc, char **argv)
     std::string benchmark = "tomcat";
     std::string trace_path;
     std::string record_path;
+    std::string catalog_path;
     std::string benchmarks_csv;
     std::string policies_csv;
     core::MachineOptions machine_options;
@@ -224,6 +232,8 @@ main(int argc, char **argv)
             trace_path = value();
         } else if (arg == "--record") {
             record_path = value();
+        } else if (arg == "--catalog") {
+            catalog_path = value();
         } else if (arg == "--policy") {
             machine_options.l2Policy = value();
         } else if (arg == "--benchmarks") {
@@ -309,12 +319,16 @@ main(int argc, char **argv)
             trace_categories.push_back(name);
         }
 
-        // Sweep mode: fan (benchmark x policy) out over the engine.
-        if (!benchmarks_csv.empty() || !policies_csv.empty()) {
+        // Sweep mode: fan (workload x policy) out over the engine.
+        // Workloads come from the suite profiles, or — with
+        // --catalog — from a JSON manifest mixing synthetic and
+        // trace-backed entries.
+        if (!benchmarks_csv.empty() || !policies_csv.empty() ||
+            !catalog_path.empty()) {
             if (!trace_path.empty() || !record_path.empty()) {
-                std::fprintf(stderr, "--benchmarks/--policies cannot "
-                                     "be combined with --trace/"
-                                     "--record\n");
+                std::fprintf(stderr, "--benchmarks/--policies/"
+                                     "--catalog cannot be combined "
+                                     "with --trace/--record\n");
                 return 2;
             }
             if (!trace_out_path.empty() || sample_interval > 0) {
@@ -323,14 +337,24 @@ main(int argc, char **argv)
                              "single runs, not sweeps\n");
                 return 2;
             }
-            std::vector<trace::WorkloadProfile> workloads;
+            std::vector<std::string> selected;
             for (const std::string &raw :
-                 split(benchmarks_csv.empty() ? benchmark
-                                              : benchmarks_csv,
-                       ',')) {
+                 split(benchmarks_csv, ',')) {
                 const std::string name = trim(raw);
                 if (!name.empty())
-                    workloads.push_back(trace::profileByName(name));
+                    selected.push_back(name);
+            }
+            std::vector<core::GridWorkload> workloads;
+            if (!catalog_path.empty()) {
+                const core::WorkloadCatalog catalog =
+                    core::WorkloadCatalog::load(catalog_path);
+                workloads = catalog.select(selected);
+            } else {
+                if (selected.empty())
+                    selected.push_back(benchmark);
+                for (const std::string &name : selected)
+                    workloads.emplace_back(
+                        trace::profileByName(name));
             }
             std::vector<std::string> policies;
             for (const std::string &raw :
@@ -417,9 +441,24 @@ main(int argc, char **argv)
         // file sources are stateful and cannot be grid cells.
         std::unique_ptr<trace::SyntheticProgram> program;
         std::unique_ptr<trace::TraceSource> base_source;
+        workload::PackedTraceSource *packed_source = nullptr;
+        trace::FileTraceSource *file_source = nullptr;
         if (!trace_path.empty()) {
-            base_source =
-                std::make_unique<trace::FileTraceSource>(trace_path);
+            const std::string emtc = ".emtc";
+            if (trace_path.size() >= emtc.size() &&
+                trace_path.compare(trace_path.size() - emtc.size(),
+                                   emtc.size(), emtc) == 0) {
+                auto packed =
+                    std::make_unique<workload::PackedTraceSource>(
+                        trace_path);
+                packed_source = packed.get();
+                base_source = std::move(packed);
+            } else {
+                auto file = std::make_unique<trace::FileTraceSource>(
+                    trace_path);
+                file_source = file.get();
+                base_source = std::move(file);
+            }
         } else {
             program = std::make_unique<trace::SyntheticProgram>(
                 trace::profileByName(benchmark));
@@ -452,7 +491,7 @@ main(int argc, char **argv)
             simulator.setTraceSink(sink.get());
         }
         const auto run_start = std::chrono::steady_clock::now();
-        const core::Metrics m = simulator.run();
+        core::Metrics m = simulator.run();
         const double wall_seconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - run_start)
@@ -462,14 +501,55 @@ main(int argc, char **argv)
         if (writer)
             writer->finish();
 
+        // An EMTC container carries the pack-time footprint census
+        // the streaming replay cannot count itself.
+        if (packed_source)
+            m.codeFootprintLines =
+                packed_source->info().uniqueCodeLines;
+
         printMetrics(m, csv);
         if (!stats_json_path.empty()) {
             stats::Registry registry;
             simulator.exportRegistry(registry);
-            stats::writeJsonFile(
-                stats_json_path,
+            stats::JsonValue doc =
                 runJson(m, run_options, registry,
-                        simulator.sampler(), wall_seconds));
+                        simulator.sampler(), wall_seconds);
+            if (!trace_path.empty()) {
+                // Trace provenance: which file fed the run and how
+                // it was consumed.
+                stats::JsonValue provenance =
+                    stats::JsonValue::object();
+                provenance.set("type", stats::JsonValue("trace"));
+                provenance.set("path", stats::JsonValue(trace_path));
+                if (packed_source) {
+                    const workload::TraceInfo &info =
+                        packed_source->info();
+                    provenance.set(
+                        "records",
+                        stats::JsonValue(
+                            packed_source->recordCount()));
+                    provenance.set(
+                        "wraps",
+                        stats::JsonValue(packed_source->wraps()));
+                    provenance.set("file_bytes",
+                                   stats::JsonValue(info.fileBytes));
+                    provenance.set(
+                        "unique_code_lines",
+                        stats::JsonValue(info.uniqueCodeLines));
+                    provenance.set(
+                        "compression_ratio",
+                        stats::JsonValue(info.compressionRatio()));
+                } else if (file_source) {
+                    provenance.set(
+                        "records",
+                        stats::JsonValue(file_source->recordCount()));
+                    provenance.set(
+                        "wraps",
+                        stats::JsonValue(file_source->wraps()));
+                }
+                doc.set("workload", std::move(provenance));
+            }
+            stats::writeJsonFile(stats_json_path, doc);
         }
         return 0;
     } catch (const std::exception &e) {
