@@ -54,7 +54,8 @@ main()
     grid.runs.emplace_back("true-LRU base", "P(8):S&E", true_lru);
 
     core::ThreadPool pool;
-    const core::GridResults results = core::runGrid(grid, pool);
+    const core::GridResults results =
+        bench::runGridRecorded("ablations", grid, pool);
 
     stats::Table table({"benchmark", "P(8):S&E @L2%",
                         "EMISSARY @L1I%", "L2 + bypass%",

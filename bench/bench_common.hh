@@ -16,12 +16,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
 #include "core/grid.hh"
 #include "core/threadpool.hh"
+#include "stats/chrome_trace.hh"
+#include "stats/span_recorder.hh"
 #include "stats/table.hh"
 #include "util/strutil.hh"
 
@@ -85,6 +88,30 @@ class WorkloadProgress
     std::vector<std::string> names_;
     std::vector<std::size_t> remaining_;
 };
+
+/**
+ * runGrid with the flight recorder attached when EMISSARY_PERF_TRACE
+ * names an output file: the sweep's spans and counters are written
+ * there as a Chrome trace (open in Perfetto). With the variable
+ * unset this is exactly core::runGrid — no recorder, no file.
+ */
+inline core::GridResults
+runGridRecorded(const char *bench_name, const core::PolicyGrid &grid,
+                core::ThreadPool &pool,
+                const std::function<void(std::size_t, std::size_t)>
+                    &progress = {})
+{
+    const char *path = std::getenv("EMISSARY_PERF_TRACE");
+    if (!path || *path == '\0')
+        return core::runGrid(grid, pool, progress);
+    stats::SpanRecorder recorder;
+    core::GridResults results =
+        core::runGrid(grid, pool, progress, &recorder);
+    stats::ChromeTraceWriter::write(path, recorder);
+    std::printf("[%s] flight trace: %s (%zu spans)\n", bench_name,
+                path, recorder.spanCount());
+    return results;
+}
 
 /** Print the sweep's wall-clock accounting (tracked in results/). */
 inline void

@@ -51,8 +51,8 @@ main()
     const core::PolicyGrid grid =
         core::PolicyGrid::sweep(workloads, policies, options);
     core::ThreadPool pool;
-    const core::GridResults results =
-        core::runGrid(grid, pool, bench::WorkloadProgress(grid));
+    const core::GridResults results = bench::runGridRecorded(
+        "fig5", grid, pool, bench::WorkloadProgress(grid));
 
     for (std::size_t w = 0; w < workloads.size(); ++w) {
         const core::Metrics &base = results.at(w, 0);

@@ -33,8 +33,8 @@ main()
     const core::PolicyGrid grid =
         core::PolicyGrid::sweep(workloads, policies, options);
     core::ThreadPool pool;
-    const core::GridResults results =
-        core::runGrid(grid, pool, bench::WorkloadProgress(grid));
+    const core::GridResults results = bench::runGridRecorded(
+        "fig8", grid, pool, bench::WorkloadProgress(grid));
 
     const unsigned n_benchmarks =
         static_cast<unsigned>(workloads.size());

@@ -57,8 +57,9 @@ main()
     const core::PolicyGrid policy_grid =
         core::PolicyGrid::sweep(benchmarks, policies, options);
     core::ThreadPool pool;
-    const core::GridResults results = core::runGrid(
-        policy_grid, pool, bench::WorkloadProgress(policy_grid));
+    const core::GridResults results = bench::runGridRecorded(
+        "table5", policy_grid, pool,
+        bench::WorkloadProgress(policy_grid));
 
     std::map<std::pair<unsigned, std::string>, double> grid;
     std::size_t policy_index = 1;

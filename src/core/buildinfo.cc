@@ -1,0 +1,38 @@
+#include "core/buildinfo.hh"
+
+// The definitions are injected per-source by src/core/CMakeLists.txt;
+// the fallbacks keep the file compilable standalone (IDE indexers,
+// out-of-CMake builds).
+#ifndef EMISSARY_GIT_SHA
+#define EMISSARY_GIT_SHA "unknown"
+#endif
+#ifndef EMISSARY_BUILD_TYPE
+#define EMISSARY_BUILD_TYPE "unknown"
+#endif
+#ifndef EMISSARY_COMPILER
+#define EMISSARY_COMPILER "unknown"
+#endif
+
+namespace emissary::core
+{
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info{EMISSARY_GIT_SHA, EMISSARY_BUILD_TYPE,
+                                EMISSARY_COMPILER};
+    return info;
+}
+
+stats::JsonValue
+buildProvenanceJson()
+{
+    const BuildInfo &info = buildInfo();
+    stats::JsonValue doc = stats::JsonValue::object();
+    doc.set("git_sha", stats::JsonValue(info.gitSha));
+    doc.set("build_type", stats::JsonValue(info.buildType));
+    doc.set("compiler", stats::JsonValue(info.compiler));
+    return doc;
+}
+
+} // namespace emissary::core

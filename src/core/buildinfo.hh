@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Build provenance baked into the binaries at configure time: the
+ * git commit the tree was configured from, the CMake build type and
+ * the compiler. Every machine-readable artifact (emissary.run.v1,
+ * emissary.sweep.v1, bench_gate history entries) carries this block
+ * so results can be keyed by code version — the content-addressed
+ * result cache planned in ROADMAP item 2 needs exactly that key.
+ *
+ * The SHA is resolved when CMake configures, not per build, so a
+ * commit without a reconfigure can lag one revision; outside a git
+ * checkout it reads "unknown".
+ */
+
+#ifndef EMISSARY_CORE_BUILDINFO_HH
+#define EMISSARY_CORE_BUILDINFO_HH
+
+#include <string>
+
+#include "stats/json.hh"
+
+namespace emissary::core
+{
+
+struct BuildInfo
+{
+    std::string gitSha;    ///< Short commit hash, or "unknown".
+    std::string buildType; ///< CMAKE_BUILD_TYPE at configure.
+    std::string compiler;  ///< Compiler id + version.
+};
+
+/** The provenance of this binary. */
+const BuildInfo &buildInfo();
+
+/** {"git_sha": ..., "build_type": ..., "compiler": ...}. */
+stats::JsonValue buildProvenanceJson();
+
+} // namespace emissary::core
+
+#endif // EMISSARY_CORE_BUILDINFO_HH

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/simulator.hh"
+#include "stats/span_recorder.hh"
 #include "trace/executor.hh"
 #include "util/strutil.hh"
 
@@ -46,7 +47,8 @@ runOverSource(trace::TraceSource &source,
               const replacement::PolicySpec &l2_spec,
               const replacement::PolicySpec &l1i_spec,
               const RunOptions &options,
-              RunInstrumentation *instrumentation)
+              RunInstrumentation *instrumentation,
+              RunTelemetry *telemetry)
 {
     MachineOptions machine_options;
     machine_options.l2Spec = l2_spec;
@@ -75,6 +77,13 @@ runOverSource(trace::TraceSource &source,
         simulator.setTraceSink(instrumentation->traceSink);
 
     const auto start = std::chrono::steady_clock::now();
+    // Phase boundary: the simulator fires this exactly when the
+    // warm-up counters reset and the measurement window opens.
+    auto measure_start = start;
+    if (telemetry)
+        simulator.setOnMeasureStart([&measure_start]() {
+            measure_start = std::chrono::steady_clock::now();
+        });
     Metrics metrics = simulator.run();
     const auto stop = std::chrono::steady_clock::now();
 
@@ -83,6 +92,27 @@ runOverSource(trace::TraceSource &source,
         instrumentation->sampler = simulator.sampler();
         instrumentation->wallSeconds =
             std::chrono::duration<double>(stop - start).count();
+    }
+
+    if (telemetry) {
+        const auto harvested = std::chrono::steady_clock::now();
+        telemetry->warmupSeconds =
+            std::chrono::duration<double>(measure_start - start)
+                .count();
+        telemetry->measureSeconds =
+            std::chrono::duration<double>(stop - measure_start)
+                .count();
+        telemetry->statExportSeconds =
+            std::chrono::duration<double>(harvested - stop).count();
+        if (stats::SpanRecorder *recorder = telemetry->spans) {
+            recorder->recordSpan("warmup", recorder->toNs(start),
+                                 recorder->toNs(measure_start));
+            recorder->recordSpan("measure",
+                                 recorder->toNs(measure_start),
+                                 recorder->toNs(stop));
+            recorder->recordSpan("stat_export", recorder->toNs(stop),
+                                 recorder->toNs(harvested));
+        }
     }
     return metrics;
 }
@@ -94,13 +124,15 @@ runPolicy(const trace::SyntheticProgram &program,
           const replacement::PolicySpec &l2_spec,
           const replacement::PolicySpec &l1i_spec,
           const RunOptions &options,
-          RunInstrumentation *instrumentation)
+          RunInstrumentation *instrumentation,
+          RunTelemetry *telemetry)
 {
     // A fresh executor with the profile's own seed: every policy run
     // for this benchmark replays the identical committed path.
     trace::SyntheticExecutor executor(program);
     Metrics metrics = runOverSource(executor, l2_spec, l1i_spec,
-                                    options, instrumentation);
+                                    options, instrumentation,
+                                    telemetry);
     metrics.codeFootprintLines = executor.uniqueCodeLines();
     return metrics;
 }
@@ -110,11 +142,13 @@ runPolicy(std::shared_ptr<const trace::RecordBuffer> buffer,
           const replacement::PolicySpec &l2_spec,
           const replacement::PolicySpec &l1i_spec,
           const RunOptions &options,
-          RunInstrumentation *instrumentation)
+          RunInstrumentation *instrumentation,
+          RunTelemetry *telemetry)
 {
     trace::ReplayCursor cursor(std::move(buffer));
     Metrics metrics = runOverSource(cursor, l2_spec, l1i_spec,
-                                    options, instrumentation);
+                                    options, instrumentation,
+                                    telemetry);
     metrics.codeFootprintLines = cursor.uniqueCodeLines();
     return metrics;
 }
@@ -124,10 +158,11 @@ runPolicy(trace::TraceSource &source,
           const replacement::PolicySpec &l2_spec,
           const replacement::PolicySpec &l1i_spec,
           const RunOptions &options,
-          RunInstrumentation *instrumentation)
+          RunInstrumentation *instrumentation,
+          RunTelemetry *telemetry)
 {
     return runOverSource(source, l2_spec, l1i_spec, options,
-                         instrumentation);
+                         instrumentation, telemetry);
 }
 
 double

@@ -26,6 +26,7 @@
 namespace emissary::stats
 {
 class TraceSink;
+class SpanRecorder;
 }
 
 namespace emissary::core
@@ -93,12 +94,35 @@ struct RunInstrumentation
     double wallSeconds = 0.0;
 };
 
+/**
+ * Flight-recorder attachment and phase-timing output for one run.
+ * With @p spans set, the run records "warmup", "measure" and
+ * "stat_export" child slices on the calling thread's track; the
+ * phase seconds are filled either way, so the grid engine's
+ * per-phase totals cost four steady_clock reads per cell even when
+ * the recorder is off.
+ */
+struct RunTelemetry
+{
+    /** Flight recorder for phase spans (nullptr = none). Not owned. */
+    stats::SpanRecorder *spans = nullptr;
+
+    /** Wall seconds from simulate start to the measurement window. */
+    double warmupSeconds = 0.0;
+    /** Wall seconds of the measurement window itself. */
+    double measureSeconds = 0.0;
+    /** Wall seconds harvesting stats after the window (registry
+     *  export, sampler copy). */
+    double statExportSeconds = 0.0;
+};
+
 /** Instrumented variant: as above, plus structured observability. */
 Metrics runPolicy(const trace::SyntheticProgram &program,
                   const replacement::PolicySpec &l2_spec,
                   const replacement::PolicySpec &l1i_spec,
                   const RunOptions &options,
-                  RunInstrumentation *instrumentation);
+                  RunInstrumentation *instrumentation,
+                  RunTelemetry *telemetry = nullptr);
 
 /**
  * Replay variant: feed the run from a pre-generated RecordBuffer
@@ -111,7 +135,8 @@ Metrics runPolicy(std::shared_ptr<const trace::RecordBuffer> buffer,
                   const replacement::PolicySpec &l2_spec,
                   const replacement::PolicySpec &l1i_spec,
                   const RunOptions &options,
-                  RunInstrumentation *instrumentation = nullptr);
+                  RunInstrumentation *instrumentation = nullptr,
+                  RunTelemetry *telemetry = nullptr);
 
 /**
  * Generic-source variant: run over any TraceSource — a file-backed
@@ -125,7 +150,8 @@ Metrics runPolicy(trace::TraceSource &source,
                   const replacement::PolicySpec &l2_spec,
                   const replacement::PolicySpec &l1i_spec,
                   const RunOptions &options,
-                  RunInstrumentation *instrumentation = nullptr);
+                  RunInstrumentation *instrumentation = nullptr,
+                  RunTelemetry *telemetry = nullptr);
 
 /** Speedup of @p test over @p base in percent (paper convention). */
 double speedupPercent(const Metrics &base, const Metrics &test);

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/buildinfo.hh"
 #include "core/observability.hh"
 #include "trace/file.hh"
 #include "trace/program.hh"
@@ -30,6 +31,15 @@ secondsSince(std::chrono::steady_clock::time_point start)
                std::chrono::steady_clock::now() - start)
         .count();
 }
+
+/** Stores seconds-since-@p start into @p out on scope exit; the
+ *  program-build lambda has several return paths. */
+struct BuildDone
+{
+    double &out;
+    std::chrono::steady_clock::time_point start;
+    ~BuildDone() { out = secondsSince(start); }
+};
 
 bool
 isPackedTrace(const std::string &path)
@@ -141,11 +151,57 @@ GridTiming::runCount() const
     return count;
 }
 
+double
+GridTiming::warmupSeconds() const
+{
+    double sum = 0.0;
+    for (const auto &row : phaseSeconds)
+        for (const CellPhases &cell : row)
+            sum += cell.warmupSeconds;
+    return sum;
+}
+
+double
+GridTiming::measureSeconds() const
+{
+    double sum = 0.0;
+    for (const auto &row : phaseSeconds)
+        for (const CellPhases &cell : row)
+            sum += cell.measureSeconds;
+    return sum;
+}
+
+double
+GridTiming::statExportSeconds() const
+{
+    double sum = 0.0;
+    for (const auto &row : phaseSeconds)
+        for (const CellPhases &cell : row)
+            sum += cell.statExportSeconds;
+    return sum;
+}
+
+stats::BoundedHistogram
+GridTiming::cellWallHistogram() const
+{
+    // 32 log2 buckets of microseconds: the last bound is 2^30 µs
+    // (~18 min), far beyond any realistic cell.
+    stats::BoundedHistogram histogram(
+        stats::BoundedHistogram::log2Bounds(32));
+    for (const auto &row : runSeconds)
+        for (const double seconds : row)
+            histogram.sample(
+                static_cast<std::uint64_t>(seconds * 1e6));
+    return histogram;
+}
+
 GridResults::GridResults(std::size_t workloads, std::size_t runs)
     : cells_(workloads, std::vector<Metrics>(runs))
 {
     timing_.runSeconds.assign(workloads,
                               std::vector<double>(runs, 0.0));
+    timing_.phaseSeconds.assign(
+        workloads, std::vector<GridTiming::CellPhases>(runs));
 }
 
 std::uint64_t
@@ -208,16 +264,39 @@ GridResults::timingTable(
                                          timing_.totalSeconds
                                    : 0.0,
                                2)});
+    table.addRow({"phase: replay build (serial s)", "-",
+                  formatDouble(timing_.replayBuildSeconds, 2)});
+    table.addRow({"phase: warmup (serial s)", "-",
+                  formatDouble(timing_.warmupSeconds(), 2)});
+    table.addRow({"phase: measure (serial s)", "-",
+                  formatDouble(timing_.measureSeconds(), 2)});
+    table.addRow({"phase: stat export (serial s)", "-",
+                  formatDouble(timing_.statExportSeconds(), 2)});
     return table;
 }
 
 GridResults
 runGrid(const PolicyGrid &grid, ThreadPool &pool,
         const std::function<void(std::size_t w, std::size_t r)>
-            &progress)
+            &progress, stats::SpanRecorder *recorder)
 {
     if (grid.workloads.empty() || grid.runs.empty())
         throw std::invalid_argument("runGrid: empty grid");
+
+    // A disabled recorder behaves exactly like no recorder: all the
+    // instrumentation below keys off this one pointer.
+    if (recorder && !recorder->enabled())
+        recorder = nullptr;
+    // Worker tracks are labelled lazily, from the worker itself, so
+    // only threads that actually ran grid work appear in the trace.
+    const auto label_track = [recorder]() {
+        if (!recorder)
+            return;
+        const int worker = ThreadPool::currentWorkerIndex();
+        recorder->labelThread(
+            worker >= 0 ? "worker-" + std::to_string(worker)
+                        : "caller");
+    };
 
     const auto wall_start = std::chrono::steady_clock::now();
 
@@ -258,14 +337,23 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
     std::vector<std::shared_ptr<const trace::RecordBuffer>> buffers(
         grid.workloads.size());
     std::vector<std::uint64_t> footprints(grid.workloads.size(), 0);
+    std::vector<double> build_seconds(grid.workloads.size(), 0.0);
     {
         std::vector<std::future<void>> built;
         built.reserve(grid.workloads.size());
         for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
             const bool replay = w < replayable;
             built.push_back(pool.submit([&grid, &programs, &buffers,
-                                         &footprints, records, replay,
-                                         w]() {
+                                         &footprints, &build_seconds,
+                                         &label_track, recorder,
+                                         records, replay, w]() {
+                const auto build_start =
+                    std::chrono::steady_clock::now();
+                label_track();
+                stats::ScopedTimer span(recorder, "replay_build");
+                span.arg("workload",
+                         stats::JsonValue(grid.workloads[w].name));
+                const BuildDone done{build_seconds[w], build_start};
                 const GridWorkload &row = grid.workloads[w];
                 if (row.traceBacked()) {
                     // The buffer unrolls the trace's wrap-around, so
@@ -298,7 +386,14 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
     }
 
     GridResults results(grid.workloads.size(), grid.runs.size());
+    results.timing_.workers = pool.workerCount();
+    for (const double s : build_seconds)
+        results.timing_.replayBuildSeconds += s;
     std::mutex progress_mutex;
+    // Progress-state shared by the completion counters; guarded by
+    // progress_mutex like the user callback.
+    std::size_t completed_cells = 0;
+    std::uint64_t completed_instructions = 0;
 
     std::vector<std::future<void>> cells;
     cells.reserve(grid.cellCount());
@@ -307,16 +402,21 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
             cells.push_back(pool.submit([&, w, r]() {
                 const auto cell_start =
                     std::chrono::steady_clock::now();
+                label_track();
                 // Each cell owns its source, simulator and seeded
                 // RNGs; it writes only its own result slot, so no
                 // locking — and completion order cannot reorder or
                 // perturb the results.
                 const GridWorkload &row = grid.workloads[w];
+                stats::ScopedTimer span(recorder, "cell");
+                RunTelemetry telemetry;
+                telemetry.spans = recorder;
                 Metrics metrics;
                 if (buffers[w]) {
                     metrics = runPolicy(buffers[w], l2_specs[r],
                                         l1i_specs[r],
-                                        grid.runs[r].options);
+                                        grid.runs[r].options, nullptr,
+                                        &telemetry);
                 } else if (row.traceBacked()) {
                     // Past the replay budget: stream the file fresh
                     // for this cell. The decode is bit-exact, so the
@@ -324,11 +424,13 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
                     auto source = openTraceSource(row);
                     metrics = runPolicy(*source, l2_specs[r],
                                         l1i_specs[r],
-                                        grid.runs[r].options);
+                                        grid.runs[r].options, nullptr,
+                                        &telemetry);
                 } else {
                     metrics = runPolicy(*programs[w], l2_specs[r],
                                         l1i_specs[r],
-                                        grid.runs[r].options);
+                                        grid.runs[r].options, nullptr,
+                                        &telemetry);
                 }
                 // Normalise what the source reports: the grid row's
                 // name wins over the source's self-description, and
@@ -338,12 +440,48 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
                 metrics.benchmark = row.name;
                 if (row.traceBacked())
                     metrics.codeFootprintLines = footprints[w];
+                const std::uint64_t cell_instructions =
+                    metrics.instructions;
                 results.cells_[w][r] = std::move(metrics);
-                results.timing_.runSeconds[w][r] =
-                    secondsSince(cell_start);
-                if (progress) {
+                const double cell_seconds = secondsSince(cell_start);
+                results.timing_.runSeconds[w][r] = cell_seconds;
+                results.timing_.phaseSeconds[w][r] = {
+                    telemetry.warmupSeconds, telemetry.measureSeconds,
+                    telemetry.statExportSeconds};
+                if (span.active()) {
+                    span.arg("workload", stats::JsonValue(row.name));
+                    span.arg("policy", stats::JsonValue(
+                                           grid.runs[r].l2Policy));
+                    span.arg("instructions",
+                             stats::JsonValue(cell_instructions));
+                    span.arg("minst_per_sec",
+                             stats::JsonValue(
+                                 cell_seconds > 0.0
+                                     ? static_cast<double>(
+                                           cell_instructions) /
+                                           cell_seconds / 1e6
+                                     : 0.0));
+                }
+                if (progress || recorder) {
                     std::lock_guard<std::mutex> lock(progress_mutex);
-                    progress(w, r);
+                    ++completed_cells;
+                    completed_instructions += cell_instructions;
+                    if (recorder) {
+                        recorder->counter(
+                            "cells_completed",
+                            static_cast<double>(completed_cells));
+                        const double elapsed =
+                            secondsSince(wall_start);
+                        recorder->counter(
+                            "minst_per_sec",
+                            elapsed > 0.0
+                                ? static_cast<double>(
+                                      completed_instructions) /
+                                      elapsed / 1e6
+                                : 0.0);
+                    }
+                    if (progress)
+                        progress(w, r);
                 }
             }));
         }
@@ -446,7 +584,27 @@ sweepJson(const PolicyGrid &grid, const GridResults &results)
     timing.set("instructions", JsonValue(results.totalInstructions()));
     timing.set("instructions_per_second",
                JsonValue(results.instructionsPerSecond()));
+    timing.set("workers",
+               JsonValue(static_cast<std::uint64_t>(
+                   results.timing().workers)));
+
+    JsonValue phases = JsonValue::object();
+    phases.set("replay_build_seconds",
+               JsonValue(results.timing().replayBuildSeconds));
+    phases.set("warmup_seconds",
+               JsonValue(results.timing().warmupSeconds()));
+    phases.set("measure_seconds",
+               JsonValue(results.timing().measureSeconds()));
+    phases.set("stat_export_seconds",
+               JsonValue(results.timing().statExportSeconds()));
+    timing.set("phases", std::move(phases));
+
+    JsonValue histogram = results.timing().cellWallHistogram().toJson();
+    histogram.set("unit", JsonValue("microseconds"));
+    timing.set("cell_wall_histogram", std::move(histogram));
     doc.set("timing", std::move(timing));
+
+    doc.set("provenance", buildProvenanceJson());
     return doc;
 }
 

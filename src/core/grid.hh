@@ -34,7 +34,9 @@
 #include "core/experiment.hh"
 #include "core/metrics.hh"
 #include "core/threadpool.hh"
+#include "stats/histogram.hh"
 #include "stats/json.hh"
+#include "stats/span_recorder.hh"
 #include "stats/table.hh"
 #include "trace/profile.hh"
 
@@ -129,14 +131,38 @@ struct GridTiming
 {
     /** End-to-end wall seconds for the whole grid. */
     double totalSeconds = 0.0;
+    /** Serial sum of the shared program / replay-buffer build jobs
+     *  (they run in parallel; this is their cost, not their span). */
+    double replayBuildSeconds = 0.0;
+    /** Worker threads the grid ran on. */
+    unsigned workers = 0;
     /** Per-cell wall seconds, [workload][run]. */
     std::vector<std::vector<double>> runSeconds;
+
+    /** One cell's wall-clock split (core::RunTelemetry phases). */
+    struct CellPhases
+    {
+        double warmupSeconds = 0.0;
+        double measureSeconds = 0.0;
+        double statExportSeconds = 0.0;
+    };
+    /** Per-cell phase splits, [workload][run] like runSeconds. */
+    std::vector<std::vector<CellPhases>> phaseSeconds;
 
     /** Sum of all per-cell times: what a serial sweep would cost. */
     double serialSeconds() const;
     /** Completed cells per wall-clock second. */
     double runsPerSecond() const;
     std::size_t runCount() const;
+
+    /** Serial sums of one phase across every cell. */
+    double warmupSeconds() const;
+    double measureSeconds() const;
+    double statExportSeconds() const;
+
+    /** Per-cell wall microseconds over log2-scaled buckets — the
+     *  sweep JSON's cell_wall_histogram. */
+    stats::BoundedHistogram cellWallHistogram() const;
 };
 
 /** Deterministically ordered results of one grid sweep. */
@@ -185,7 +211,8 @@ class GridResults
   private:
     friend GridResults runGrid(
         const PolicyGrid &, ThreadPool &,
-        const std::function<void(std::size_t, std::size_t)> &);
+        const std::function<void(std::size_t, std::size_t)> &,
+        stats::SpanRecorder *);
 
     std::vector<std::vector<Metrics>> cells_;
     GridTiming timing_;
@@ -198,6 +225,15 @@ class GridResults
  *        invocations are serialized by the engine, so the callback
  *        may print or mutate shared progress state without its own
  *        locking. Indices are grid positions, not completion order.
+ * @param recorder Optional flight recorder. When set (and enabled),
+ *        every grid cell becomes a "cell" slice on its worker's
+ *        track (args: workload, policy, instructions, Minst/s) with
+ *        "warmup"/"measure"/"stat_export" children, the shared
+ *        program builds become "replay_build" slices, and the
+ *        engine feeds two counter tracks: "cells_completed" and the
+ *        aggregate "minst_per_sec". Export with
+ *        stats::ChromeTraceWriter. A null recorder costs one
+ *        pointer test per instrumentation point.
  *
  * Exceptions thrown by a cell (bad policy notation, simulator budget
  * overrun) are rethrown here after the remaining cells finish.
@@ -205,7 +241,8 @@ class GridResults
 GridResults runGrid(
     const PolicyGrid &grid, ThreadPool &pool,
     const std::function<void(std::size_t w, std::size_t r)>
-        &progress = {});
+        &progress = {},
+    stats::SpanRecorder *recorder = nullptr);
 
 /** Convenience overload: a private pool of defaultWorkerCount(). */
 GridResults runGrid(const PolicyGrid &grid);
@@ -214,7 +251,9 @@ GridResults runGrid(const PolicyGrid &grid);
  * The whole sweep as one JSON document ("emissary.sweep.v1"): a
  * per-run manifest for every cell — benchmark, policy notation,
  * label, seed, window config, wall seconds, full metrics — plus the
- * grid's timing aggregate (total / serial seconds, runs per second).
+ * grid's timing aggregate (total / serial seconds, runs per second,
+ * per-phase totals, a log2-bucketed per-cell wall-clock histogram)
+ * and the binary's build provenance (core/buildinfo.hh).
  */
 stats::JsonValue sweepJson(const PolicyGrid &grid,
                            const GridResults &results);

@@ -7,6 +7,17 @@
 namespace emissary::core
 {
 
+namespace
+{
+thread_local int current_worker_index = -1;
+} // namespace
+
+int
+ThreadPool::currentWorkerIndex()
+{
+    return current_worker_index;
+}
+
 ThreadPool::ThreadPool(unsigned workers)
 {
     const unsigned count =
@@ -92,6 +103,7 @@ ThreadPool::runOne(unsigned self)
 void
 ThreadPool::workerLoop(unsigned self)
 {
+    current_worker_index = static_cast<int>(self);
     while (true) {
         if (runOne(self))
             continue;

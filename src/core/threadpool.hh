@@ -75,6 +75,15 @@ class ThreadPool
      *  hardware_concurrency(), never less than 1. */
     static unsigned defaultWorkerCount();
 
+    /**
+     * Index of the calling thread within its owning pool, or -1 when
+     * the caller is not a pool worker. Jobs use it to attribute work
+     * to a stable per-worker identity (the flight recorder's
+     * "worker-N" tracks) without threading the pool through every
+     * call.
+     */
+    static int currentWorkerIndex();
+
   private:
     /** One worker's deque; stealing locks the victim's mutex. */
     struct Queue

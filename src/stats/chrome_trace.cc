@@ -1,0 +1,111 @@
+#include "stats/chrome_trace.hh"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace emissary::stats
+{
+
+namespace
+{
+
+/** trace_event timestamps are microseconds; sub-µs precision is kept
+ *  as a fractional value rather than rounded away. */
+double
+toMicros(std::uint64_t ns)
+{
+    return static_cast<double>(ns) / 1000.0;
+}
+
+JsonValue
+eventBase(const char *name, const char *phase, unsigned tid)
+{
+    JsonValue event = JsonValue::object();
+    event.set("name", JsonValue(name));
+    event.set("ph", JsonValue(phase));
+    event.set("pid", JsonValue(0u));
+    event.set("tid", JsonValue(tid));
+    return event;
+}
+
+} // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(const SpanRecorder &recorder)
+    : tracks_(recorder.tracks()), counters_(recorder.counters())
+{
+}
+
+JsonValue
+ChromeTraceWriter::toJson() const
+{
+    JsonValue events = JsonValue::array();
+
+    {
+        JsonValue process = eventBase("process_name", "M", 0);
+        JsonValue args = JsonValue::object();
+        args.set("name", JsonValue("emissary"));
+        process.set("args", std::move(args));
+        events.push(std::move(process));
+    }
+
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+        const SpanRecorder::Track &track = tracks_[t];
+        const unsigned tid = static_cast<unsigned>(t);
+
+        JsonValue meta = eventBase("thread_name", "M", tid);
+        JsonValue args = JsonValue::object();
+        args.set("name",
+                 JsonValue(track.label.empty()
+                               ? "track-" + std::to_string(t)
+                               : track.label));
+        meta.set("args", std::move(args));
+        events.push(std::move(meta));
+
+        for (const SpanRecorder::Span &span : track.spans) {
+            JsonValue event = eventBase(span.name, "X", tid);
+            event.set("cat", JsonValue("flight"));
+            event.set("ts", JsonValue(toMicros(span.startNs)));
+            event.set("dur", JsonValue(toMicros(span.durationNs)));
+            if (!span.args.empty()) {
+                JsonValue span_args = JsonValue::object();
+                for (const auto &[key, value] : span.args)
+                    span_args.set(key, value);
+                event.set("args", std::move(span_args));
+            }
+            events.push(std::move(event));
+        }
+    }
+
+    for (const SpanRecorder::CounterSample &sample : counters_) {
+        JsonValue event = eventBase(sample.name, "C", 0);
+        event.set("ts", JsonValue(toMicros(sample.timeNs)));
+        JsonValue args = JsonValue::object();
+        args.set("value", JsonValue(sample.value));
+        event.set("args", std::move(args));
+        events.push(std::move(event));
+    }
+
+    return events;
+}
+
+void
+ChromeTraceWriter::writeTo(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("ChromeTraceWriter: cannot write " +
+                                 path);
+    out << toJson().dump() << '\n';
+    if (!out)
+        throw std::runtime_error("ChromeTraceWriter: write failed: " +
+                                 path);
+}
+
+void
+ChromeTraceWriter::write(const std::string &path,
+                         const SpanRecorder &recorder)
+{
+    ChromeTraceWriter(recorder).writeTo(path);
+}
+
+} // namespace emissary::stats

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Chrome trace_event export of a SpanRecorder snapshot.
+ *
+ * The output is the JSON-array flavour of the trace_event format —
+ * one complete ("ph":"X") event per span, one metadata ("ph":"M")
+ * event naming each track, one counter ("ph":"C") event per counter
+ * sample — which loads directly in Perfetto (ui.perfetto.dev) and
+ * chrome://tracing, and still parses with the repo's own strict
+ * JSON parser (tools/json_check). Timestamps are microseconds from
+ * the recorder's epoch, as the format requires.
+ */
+
+#ifndef EMISSARY_STATS_CHROME_TRACE_HH
+#define EMISSARY_STATS_CHROME_TRACE_HH
+
+#include <string>
+
+#include "stats/json.hh"
+#include "stats/span_recorder.hh"
+
+namespace emissary::stats
+{
+
+class ChromeTraceWriter
+{
+  public:
+    /** Snapshots @p recorder (tracks + counters) at construction;
+     *  the recorder's writers must have quiesced. */
+    explicit ChromeTraceWriter(const SpanRecorder &recorder);
+
+    /** The trace_event array as a JSON document. */
+    JsonValue toJson() const;
+
+    /** Render to @p path, compact, with a trailing newline.
+     *  @throws std::runtime_error when the file cannot be written. */
+    void writeTo(const std::string &path) const;
+
+    /** One-call convenience: snapshot @p recorder and write it. */
+    static void write(const std::string &path,
+                      const SpanRecorder &recorder);
+
+  private:
+    std::vector<SpanRecorder::Track> tracks_;
+    std::vector<SpanRecorder::CounterSample> counters_;
+};
+
+} // namespace emissary::stats
+
+#endif // EMISSARY_STATS_CHROME_TRACE_HH

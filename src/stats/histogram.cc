@@ -50,6 +50,72 @@ BoundedHistogram::reset()
     total_ = 0;
 }
 
+JsonValue
+BoundedHistogram::toJson() const
+{
+    JsonValue doc = JsonValue::object();
+    JsonValue bounds = JsonValue::array();
+    for (const std::uint64_t bound : bounds_)
+        bounds.push(JsonValue(bound));
+    doc.set("bounds", std::move(bounds));
+    JsonValue counts = JsonValue::array();
+    for (const std::uint64_t count : counts_)
+        counts.push(JsonValue(count));
+    doc.set("counts", std::move(counts));
+    doc.set("total", JsonValue(total_));
+    return doc;
+}
+
+BoundedHistogram
+BoundedHistogram::fromJson(const JsonValue &doc)
+{
+    const JsonValue *bounds = doc.find("bounds");
+    const JsonValue *counts = doc.find("counts");
+    const JsonValue *total = doc.find("total");
+    if (!bounds || !counts || !total || !bounds->isArray() ||
+        !counts->isArray())
+        throw std::invalid_argument(
+            "BoundedHistogram::fromJson: expected bounds/counts "
+            "arrays and a total");
+    if (bounds->size() != counts->size())
+        throw std::invalid_argument(
+            "BoundedHistogram::fromJson: bounds and counts lengths "
+            "differ");
+
+    std::vector<std::uint64_t> bound_values;
+    bound_values.reserve(bounds->size());
+    for (std::size_t i = 0; i < bounds->size(); ++i)
+        bound_values.push_back(bounds->at(i).asUint());
+    BoundedHistogram histogram(std::move(bound_values));
+
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < counts->size(); ++i) {
+        histogram.counts_[i] = counts->at(i).asUint();
+        sum += histogram.counts_[i];
+    }
+    histogram.total_ = sum;
+    if (sum != total->asUint())
+        throw std::invalid_argument(
+            "BoundedHistogram::fromJson: total does not match "
+            "counts");
+    return histogram;
+}
+
+std::vector<std::uint64_t>
+BoundedHistogram::log2Bounds(std::size_t buckets)
+{
+    if (buckets < 2 || buckets > 65)
+        throw std::invalid_argument(
+            "BoundedHistogram::log2Bounds: buckets must be in "
+            "[2, 65]");
+    std::vector<std::uint64_t> bounds;
+    bounds.reserve(buckets);
+    bounds.push_back(0);
+    for (std::size_t i = 1; i < buckets; ++i)
+        bounds.push_back(std::uint64_t{1} << (i - 1));
+    return bounds;
+}
+
 DenseHistogram::DenseHistogram(std::size_t domain)
 {
     counts_.assign(domain, 0);

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "stats/json.hh"
+
 namespace emissary::stats
 {
 
@@ -51,6 +53,24 @@ class BoundedHistogram
 
     /** Reset all counts to zero. */
     void reset();
+
+    /** {"bounds": [...], "counts": [...], "total": N}. */
+    JsonValue toJson() const;
+
+    /**
+     * Inverse of toJson().
+     * @throws std::invalid_argument when the document is missing a
+     *         key, the array lengths differ, or the recorded total
+     *         does not match the counts.
+     */
+    static BoundedHistogram fromJson(const JsonValue &doc);
+
+    /**
+     * Log2-scaled bounds {0, 1, 2, 4, ..., 2^(buckets-2)} for
+     * distributions spanning orders of magnitude (per-cell wall
+     * microseconds, reuse distances). @p buckets must be >= 2.
+     */
+    static std::vector<std::uint64_t> log2Bounds(std::size_t buckets);
 
   private:
     std::vector<std::uint64_t> bounds_;

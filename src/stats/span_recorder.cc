@@ -1,0 +1,156 @@
+#include "stats/span_recorder.hh"
+
+namespace emissary::stats
+{
+
+namespace
+{
+
+/** Monotonically unique recorder ids so a thread-local buffer cache
+ *  can never alias a destroyed recorder whose address was reused. */
+std::atomic<std::uint64_t> next_recorder_id{1};
+
+struct TlsCache
+{
+    std::uint64_t recorderId = 0;
+    /** The owning recorder's TrackBuffer (opaque: the type is
+     *  private to SpanRecorder). */
+    void *buffer = nullptr;
+};
+
+thread_local TlsCache tls_cache;
+
+} // namespace
+
+SpanRecorder::SpanRecorder()
+    : id_(next_recorder_id.fetch_add(1)),
+      epoch_(std::chrono::steady_clock::now())
+{
+}
+
+std::uint64_t
+SpanRecorder::nowNs() const
+{
+    return toNs(std::chrono::steady_clock::now());
+}
+
+std::uint64_t
+SpanRecorder::toNs(std::chrono::steady_clock::time_point t) const
+{
+    if (t <= epoch_)
+        return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t -
+                                                             epoch_)
+            .count());
+}
+
+SpanRecorder::TrackBuffer &
+SpanRecorder::threadBuffer()
+{
+    if (tls_cache.recorderId == id_ && tls_cache.buffer)
+        return *static_cast<TrackBuffer *>(tls_cache.buffer);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    TrackBuffer *&slot = byThread_[std::this_thread::get_id()];
+    if (!slot) {
+        tracks_.push_back(std::make_unique<TrackBuffer>());
+        slot = tracks_.back().get();
+    }
+    tls_cache = {id_, slot};
+    return *slot;
+}
+
+void
+SpanRecorder::labelThread(const std::string &label)
+{
+    if (!enabled())
+        return;
+    TrackBuffer &buffer = threadBuffer();
+    if (buffer.label != label)
+        buffer.label = label;
+}
+
+void
+SpanRecorder::recordSpan(
+    const char *name, std::uint64_t start_ns, std::uint64_t end_ns,
+    std::vector<std::pair<std::string, JsonValue>> args)
+{
+    if (!enabled())
+        return;
+    TrackBuffer &buffer = threadBuffer();
+    buffer.spans.push_back(
+        {name, start_ns, end_ns > start_ns ? end_ns - start_ns : 0,
+         buffer.depth, std::move(args)});
+}
+
+void
+SpanRecorder::counter(const char *name, double value)
+{
+    if (!enabled())
+        return;
+    const std::uint64_t at = nowNs();
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.push_back({name, at, value});
+}
+
+std::vector<SpanRecorder::Track>
+SpanRecorder::tracks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Track> out;
+    out.reserve(tracks_.size());
+    for (const auto &buffer : tracks_)
+        out.push_back({buffer->label, buffer->spans});
+    return out;
+}
+
+std::vector<SpanRecorder::CounterSample>
+SpanRecorder::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+std::size_t
+SpanRecorder::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t count = 0;
+    for (const auto &buffer : tracks_)
+        count += buffer->spans.size();
+    return count;
+}
+
+ScopedTimer::ScopedTimer(SpanRecorder *recorder, const char *name)
+    : name_(name)
+{
+    if (!recorder || !recorder->enabled())
+        return;
+    recorder_ = recorder;
+    buffer_ = &recorder->threadBuffer();
+    startNs_ = recorder->nowNs();
+    ++buffer_->depth;
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (!recorder_)
+        return;
+    const std::uint64_t end_ns = recorder_->nowNs();
+    --buffer_->depth;
+    buffer_->spans.push_back(
+        {name_, startNs_,
+         end_ns > startNs_ ? end_ns - startNs_ : 0, buffer_->depth,
+         std::move(args_)});
+}
+
+void
+ScopedTimer::arg(const char *key, JsonValue value)
+{
+    if (!recorder_)
+        return;
+    args_.emplace_back(key, std::move(value));
+}
+
+} // namespace emissary::stats

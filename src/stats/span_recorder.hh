@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Flight recorder for the experiment engine: named wall-clock spans
+ * and counter samples, recorded into per-thread buffers and exported
+ * as a Chrome trace_event file (stats/chrome_trace.hh).
+ *
+ * Design constraints, in order:
+ *
+ *  1. Disabled must be free. Every recording entry point is reached
+ *     through a `SpanRecorder *` that is simply nullptr when the
+ *     flight recorder is off, so the compiled-in cost of an unused
+ *     ScopedTimer is one pointer test.
+ *  2. Recording must not serialize the workers. Each thread owns a
+ *     private span buffer (created once, under the registry mutex)
+ *     and appends to it without any locking; only low-rate counter
+ *     samples share a mutex.
+ *  3. Timestamps are steady_clock nanoseconds relative to the
+ *     recorder's construction, so every track shares one epoch and
+ *     spans from different workers line up in the viewer.
+ *
+ * Reading a snapshot (tracks()/counters()) is only defined once the
+ * writing threads have quiesced — for the grid engine that point is
+ * after runGrid returns, because every worker's appends
+ * happen-before the cell future's get().
+ */
+
+#ifndef EMISSARY_STATS_SPAN_RECORDER_HH
+#define EMISSARY_STATS_SPAN_RECORDER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "stats/json.hh"
+
+namespace emissary::stats
+{
+
+class SpanRecorder
+{
+  public:
+    /** One completed duration slice on a thread's track. */
+    struct Span
+    {
+        /** Static-lifetime slice name ("cell", "warmup", ...). */
+        const char *name;
+        /** Start, nanoseconds since the recorder's epoch. */
+        std::uint64_t startNs;
+        std::uint64_t durationNs;
+        /** Nesting level on its track at record time (0 = top). */
+        std::uint32_t depth;
+        /** Viewer args ("workload", "policy", "minst_per_sec", ...). */
+        std::vector<std::pair<std::string, JsonValue>> args;
+    };
+
+    /** One timestamped sample of a named counter track. */
+    struct CounterSample
+    {
+        const char *name;
+        std::uint64_t timeNs;
+        double value;
+    };
+
+    /** Everything one thread recorded, in record order. */
+    struct Track
+    {
+        std::string label;
+        std::vector<Span> spans;
+    };
+
+    SpanRecorder();
+    SpanRecorder(const SpanRecorder &) = delete;
+    SpanRecorder &operator=(const SpanRecorder &) = delete;
+
+    /** Recording gate; a disabled recorder drops everything. */
+    void
+    setEnabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Nanoseconds since the recorder's epoch. */
+    std::uint64_t nowNs() const;
+    /** A caller-captured time_point on the recorder's clock. */
+    std::uint64_t toNs(std::chrono::steady_clock::time_point t) const;
+
+    /** Name the calling thread's track ("worker-3"); idempotent. */
+    void labelThread(const std::string &label);
+
+    /**
+     * Record a completed span on the calling thread's track, at the
+     * track's current nesting depth. Used for retroactive phase
+     * slices whose boundaries were captured mid-run; live scopes use
+     * ScopedTimer instead.
+     */
+    void recordSpan(
+        const char *name, std::uint64_t start_ns, std::uint64_t end_ns,
+        std::vector<std::pair<std::string, JsonValue>> args = {});
+
+    /** Append a sample to the named counter track (thread-safe). */
+    void counter(const char *name, double value);
+
+    /** Per-thread tracks in registration order (copy; see header
+     *  comment for the quiesce requirement). */
+    std::vector<Track> tracks() const;
+    /** Counter samples in record order. */
+    std::vector<CounterSample> counters() const;
+    /** Total spans across every track. */
+    std::size_t spanCount() const;
+
+  private:
+    friend class ScopedTimer;
+
+    struct TrackBuffer
+    {
+        std::string label;
+        std::vector<Span> spans;
+        std::uint32_t depth = 0;
+    };
+
+    /** The calling thread's buffer, created on first use. */
+    TrackBuffer &threadBuffer();
+
+    const std::uint64_t id_;
+    const std::chrono::steady_clock::time_point epoch_;
+    std::atomic<bool> enabled_{true};
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<TrackBuffer>> tracks_;
+    std::unordered_map<std::thread::id, TrackBuffer *> byThread_;
+    std::vector<CounterSample> counters_;
+};
+
+/**
+ * RAII duration slice: opens on construction, records on
+ * destruction. Inactive (null or disabled recorder) timers cost one
+ * branch per call and record nothing.
+ */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(SpanRecorder *recorder, const char *name);
+    ~ScopedTimer();
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Will this timer record a span? */
+    bool active() const { return recorder_ != nullptr; }
+
+    /** Attach a viewer arg; no-op when inactive. */
+    void arg(const char *key, JsonValue value);
+
+  private:
+    SpanRecorder *recorder_ = nullptr;
+    SpanRecorder::TrackBuffer *buffer_ = nullptr;
+    const char *name_;
+    std::uint64_t startNs_ = 0;
+    std::vector<std::pair<std::string, JsonValue>> args_;
+};
+
+} // namespace emissary::stats
+
+#endif // EMISSARY_STATS_SPAN_RECORDER_HH

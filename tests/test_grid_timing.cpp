@@ -1,0 +1,190 @@
+/**
+ * @file
+ * GridTiming math and the sweep JSON timing section: zero-elapsed
+ * guards, timing-table row ordering, per-phase totals reconciling
+ * with the serial cell-time sum, the per-cell wall-clock histogram,
+ * and the build provenance carried by "emissary.sweep.v1".
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/buildinfo.hh"
+#include "core/grid.hh"
+#include "core/threadpool.hh"
+#include "stats/json.hh"
+#include "trace/profile.hh"
+
+namespace emissary
+{
+namespace
+{
+
+TEST(GridTiming, ZeroElapsedRatesAreZero)
+{
+    core::GridTiming timing;
+    EXPECT_DOUBLE_EQ(timing.runsPerSecond(), 0.0);
+    EXPECT_DOUBLE_EQ(timing.serialSeconds(), 0.0);
+    EXPECT_EQ(timing.runCount(), 0u);
+    EXPECT_DOUBLE_EQ(timing.warmupSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(timing.measureSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(timing.statExportSeconds(), 0.0);
+    EXPECT_EQ(timing.cellWallHistogram().total(), 0u);
+
+    // Cells recorded but no wall clock: the rate stays finite.
+    timing.runSeconds = {{1.0, 2.0}};
+    timing.totalSeconds = 0.0;
+    EXPECT_DOUBLE_EQ(timing.runsPerSecond(), 0.0);
+    EXPECT_EQ(timing.runCount(), 2u);
+}
+
+TEST(GridTiming, PhaseTotalsSumPerCellSplits)
+{
+    core::GridTiming timing;
+    timing.phaseSeconds = {{{1.0, 2.0, 0.25}, {0.5, 1.5, 0.25}},
+                           {{0.25, 0.75, 0.0}}};
+    EXPECT_DOUBLE_EQ(timing.warmupSeconds(), 1.75);
+    EXPECT_DOUBLE_EQ(timing.measureSeconds(), 4.25);
+    EXPECT_DOUBLE_EQ(timing.statExportSeconds(), 0.5);
+}
+
+TEST(GridTiming, CellWallHistogramBucketsMicroseconds)
+{
+    core::GridTiming timing;
+    // 1 ms, 2 ms, ~131 ms: distinct log2 microsecond buckets.
+    timing.runSeconds = {{0.001, 0.002}, {0.131072}};
+    const stats::BoundedHistogram histogram =
+        timing.cellWallHistogram();
+    EXPECT_EQ(histogram.total(), 3u);
+    EXPECT_EQ(histogram.count(histogram.bucketFor(1000)), 1u);
+    EXPECT_EQ(histogram.count(histogram.bucketFor(2000)), 1u);
+    EXPECT_EQ(histogram.count(histogram.bucketFor(131072)), 1u);
+}
+
+/** One small real sweep shared by the end-to-end timing checks. */
+class GridTimingSweep : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        core::RunOptions options;
+        options.warmupInstructions = 20'000;
+        options.measureInstructions = 50'000;
+        grid_ = new core::PolicyGrid(core::PolicyGrid::sweep(
+            std::vector<trace::WorkloadProfile>{
+                trace::profileByName("tomcat"),
+                trace::profileByName("kafka")},
+            {"TPLRU", "P(8):S&E"}, options));
+        core::ThreadPool pool(2);
+        results_ =
+            new core::GridResults(core::runGrid(*grid_, pool));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete results_;
+        delete grid_;
+        results_ = nullptr;
+        grid_ = nullptr;
+    }
+
+    static core::PolicyGrid *grid_;
+    static core::GridResults *results_;
+};
+
+core::PolicyGrid *GridTimingSweep::grid_ = nullptr;
+core::GridResults *GridTimingSweep::results_ = nullptr;
+
+TEST_F(GridTimingSweep, TimingTableRowOrder)
+{
+    const std::string table =
+        results_->timingTable(grid_->workloads).render();
+    // Workload rows first, then the aggregate block, then the phase
+    // block — in this exact order.
+    const std::size_t serial =
+        table.find("all (serial cell sum)");
+    const std::size_t wall = table.find("all (wall clock)");
+    const std::size_t runs_per_sec =
+        table.find("throughput (runs/sec)");
+    const std::size_t speedup = table.find("parallel speedup");
+    const std::size_t build =
+        table.find("phase: replay build (serial s)");
+    const std::size_t warmup =
+        table.find("phase: warmup (serial s)");
+    const std::size_t measure =
+        table.find("phase: measure (serial s)");
+    const std::size_t stat_export =
+        table.find("phase: stat export (serial s)");
+    ASSERT_NE(serial, std::string::npos);
+    ASSERT_NE(stat_export, std::string::npos);
+    EXPECT_LT(table.find("tomcat"), serial);
+    EXPECT_LT(serial, wall);
+    EXPECT_LT(wall, runs_per_sec);
+    EXPECT_LT(runs_per_sec, speedup);
+    EXPECT_LT(speedup, build);
+    EXPECT_LT(build, warmup);
+    EXPECT_LT(warmup, measure);
+    EXPECT_LT(measure, stat_export);
+}
+
+TEST_F(GridTimingSweep, PhaseTotalsReconcileWithCellTimes)
+{
+    const core::GridTiming &timing = results_->timing();
+    const double serial = timing.serialSeconds();
+    const double phases = timing.warmupSeconds() +
+                          timing.measureSeconds() +
+                          timing.statExportSeconds();
+    ASSERT_GT(serial, 0.0);
+    // The three phases cover the simulate call inside each cell;
+    // source setup and metric normalisation sit outside them, so
+    // the sum is bounded by the cell total and dominates it.
+    EXPECT_LE(phases, serial * 1.05);
+    EXPECT_GE(phases, serial * 0.5);
+    EXPECT_GT(timing.measureSeconds(), 0.0);
+    EXPECT_GT(timing.warmupSeconds(), 0.0);
+    EXPECT_EQ(timing.workers, 2u);
+}
+
+TEST_F(GridTimingSweep, CellHistogramCountsEveryCell)
+{
+    EXPECT_EQ(results_->timing().cellWallHistogram().total(),
+              grid_->cellCount());
+}
+
+TEST_F(GridTimingSweep, SweepJsonCarriesTimingAndProvenance)
+{
+    const stats::JsonValue doc = stats::JsonValue::parse(
+        core::sweepJson(*grid_, *results_).dump());
+
+    const stats::JsonValue *timing = doc.find("timing");
+    ASSERT_TRUE(timing);
+    ASSERT_TRUE(timing->find("phases"));
+    EXPECT_TRUE(timing->find("phases")->find("replay_build_seconds"));
+    EXPECT_TRUE(timing->find("phases")->find("warmup_seconds"));
+    EXPECT_TRUE(timing->find("phases")->find("measure_seconds"));
+    EXPECT_TRUE(
+        timing->find("phases")->find("stat_export_seconds"));
+    EXPECT_EQ(timing->find("workers")->asUint(), 2u);
+
+    const stats::JsonValue *histogram =
+        timing->find("cell_wall_histogram");
+    ASSERT_TRUE(histogram);
+    EXPECT_EQ(histogram->find("unit")->asString(), "microseconds");
+    EXPECT_EQ(histogram->find("total")->asUint(),
+              grid_->cellCount());
+
+    const stats::JsonValue *provenance = doc.find("provenance");
+    ASSERT_TRUE(provenance);
+    EXPECT_EQ(provenance->find("git_sha")->asString(),
+              core::buildInfo().gitSha);
+    EXPECT_EQ(provenance->find("build_type")->asString(),
+              core::buildInfo().buildType);
+    EXPECT_FALSE(
+        provenance->find("compiler")->asString().empty());
+}
+
+} // namespace
+} // namespace emissary

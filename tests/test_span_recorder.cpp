@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Flight-recorder tests: SpanRecorder span/counter capture, the
+ * ScopedTimer RAII helper, ChromeTraceWriter's trace_event output,
+ * and the grid-engine integration — a recorded sweep must produce
+ * one "cell" slice per grid cell, attributed to worker tracks, and
+ * must not perturb the sweep's Metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/grid.hh"
+#include "core/threadpool.hh"
+#include "stats/chrome_trace.hh"
+#include "stats/json.hh"
+#include "stats/span_recorder.hh"
+#include "trace/profile.hh"
+
+namespace emissary
+{
+namespace
+{
+
+using stats::ChromeTraceWriter;
+using stats::JsonValue;
+using stats::ScopedTimer;
+using stats::SpanRecorder;
+
+TEST(SpanRecorder, RecordsNamedSpansWithArgs)
+{
+    SpanRecorder recorder;
+    recorder.labelThread("main");
+    {
+        ScopedTimer span(&recorder, "outer");
+        EXPECT_TRUE(span.active());
+        span.arg("workload", JsonValue(std::string("tomcat")));
+        span.arg("instructions", JsonValue(std::uint64_t{200000}));
+    }
+
+    const auto tracks = recorder.tracks();
+    ASSERT_EQ(tracks.size(), 1u);
+    EXPECT_EQ(tracks[0].label, "main");
+    ASSERT_EQ(tracks[0].spans.size(), 1u);
+    const SpanRecorder::Span &span = tracks[0].spans[0];
+    EXPECT_STREQ(span.name, "outer");
+    EXPECT_EQ(span.depth, 0u);
+    ASSERT_EQ(span.args.size(), 2u);
+    EXPECT_EQ(span.args[0].first, "workload");
+    EXPECT_EQ(span.args[0].second.asString(), "tomcat");
+    EXPECT_EQ(recorder.spanCount(), 1u);
+}
+
+TEST(SpanRecorder, DisabledRecorderRecordsNothing)
+{
+    SpanRecorder recorder;
+    recorder.setEnabled(false);
+    {
+        ScopedTimer span(&recorder, "dropped");
+        EXPECT_FALSE(span.active());
+        span.arg("ignored", JsonValue(1.0));
+    }
+    recorder.recordSpan("also-dropped", 0, 100);
+    recorder.counter("cells_completed", 1.0);
+    recorder.labelThread("ghost");
+    EXPECT_EQ(recorder.spanCount(), 0u);
+    EXPECT_TRUE(recorder.tracks().empty());
+    EXPECT_TRUE(recorder.counters().empty());
+
+    // A null recorder is equally inert.
+    ScopedTimer null_span(nullptr, "null");
+    EXPECT_FALSE(null_span.active());
+}
+
+TEST(SpanRecorder, NestedScopesTrackDepth)
+{
+    SpanRecorder recorder;
+    {
+        ScopedTimer outer(&recorder, "outer");
+        {
+            ScopedTimer inner(&recorder, "inner");
+        }
+    }
+    const auto tracks = recorder.tracks();
+    ASSERT_EQ(tracks.size(), 1u);
+    ASSERT_EQ(tracks[0].spans.size(), 2u);
+    // Inner closes first, at depth 1; outer closes at depth 0.
+    EXPECT_STREQ(tracks[0].spans[0].name, "inner");
+    EXPECT_EQ(tracks[0].spans[0].depth, 1u);
+    EXPECT_STREQ(tracks[0].spans[1].name, "outer");
+    EXPECT_EQ(tracks[0].spans[1].depth, 0u);
+    // The inner span nests inside the outer one in time.
+    EXPECT_GE(tracks[0].spans[0].startNs, tracks[0].spans[1].startNs);
+}
+
+TEST(SpanRecorder, RetroactiveSpansInheritOpenDepth)
+{
+    SpanRecorder recorder;
+    {
+        ScopedTimer cell(&recorder, "cell");
+        // Phase spans recorded mid-cell land one level below it,
+        // exactly like the grid engine's warmup/measure children.
+        recorder.recordSpan("warmup", 10, 20);
+    }
+    const auto tracks = recorder.tracks();
+    ASSERT_EQ(tracks[0].spans.size(), 2u);
+    EXPECT_STREQ(tracks[0].spans[0].name, "warmup");
+    EXPECT_EQ(tracks[0].spans[0].depth, 1u);
+    EXPECT_EQ(tracks[0].spans[0].startNs, 10u);
+    EXPECT_EQ(tracks[0].spans[0].durationNs, 10u);
+}
+
+TEST(SpanRecorder, SeparateThreadsGetSeparateTracks)
+{
+    SpanRecorder recorder;
+    recorder.labelThread("main");
+    { ScopedTimer span(&recorder, "on-main"); }
+    std::thread worker([&recorder]() {
+        recorder.labelThread("worker");
+        ScopedTimer span(&recorder, "on-worker");
+    });
+    worker.join();
+
+    const auto tracks = recorder.tracks();
+    ASSERT_EQ(tracks.size(), 2u);
+    EXPECT_EQ(tracks[0].label, "main");
+    EXPECT_EQ(tracks[1].label, "worker");
+    ASSERT_EQ(tracks[0].spans.size(), 1u);
+    ASSERT_EQ(tracks[1].spans.size(), 1u);
+    EXPECT_STREQ(tracks[0].spans[0].name, "on-main");
+    EXPECT_STREQ(tracks[1].spans[0].name, "on-worker");
+}
+
+TEST(SpanRecorder, CountersRecordInOrder)
+{
+    SpanRecorder recorder;
+    recorder.counter("cells_completed", 1.0);
+    recorder.counter("cells_completed", 2.0);
+    recorder.counter("minst_per_sec", 3.5);
+    const auto counters = recorder.counters();
+    ASSERT_EQ(counters.size(), 3u);
+    EXPECT_STREQ(counters[0].name, "cells_completed");
+    EXPECT_DOUBLE_EQ(counters[1].value, 2.0);
+    EXPECT_STREQ(counters[2].name, "minst_per_sec");
+    EXPECT_LE(counters[0].timeNs, counters[2].timeNs);
+}
+
+TEST(ChromeTraceWriter, EmitsMetadataSlicesAndCounters)
+{
+    SpanRecorder recorder;
+    recorder.labelThread("worker-0");
+    {
+        ScopedTimer span(&recorder, "cell");
+        span.arg("policy", JsonValue(std::string("TPLRU")));
+    }
+    recorder.counter("cells_completed", 1.0);
+
+    const JsonValue doc =
+        JsonValue::parse(ChromeTraceWriter(recorder).toJson().dump());
+    ASSERT_TRUE(doc.isArray());
+
+    bool process_meta = false, thread_meta = false;
+    bool cell_slice = false, counter_event = false;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+        const JsonValue &event = doc.at(i);
+        const std::string phase = event.find("ph")->asString();
+        const std::string name = event.find("name")->asString();
+        if (phase == "M" && name == "process_name")
+            process_meta = true;
+        if (phase == "M" && name == "thread_name") {
+            thread_meta = true;
+            EXPECT_EQ(event.find("args")
+                          ->find("name")
+                          ->asString(),
+                      "worker-0");
+        }
+        if (phase == "X" && name == "cell") {
+            cell_slice = true;
+            EXPECT_TRUE(event.find("ts"));
+            EXPECT_TRUE(event.find("dur"));
+            EXPECT_EQ(event.find("args")
+                          ->find("policy")
+                          ->asString(),
+                      "TPLRU");
+        }
+        if (phase == "C" && name == "cells_completed") {
+            counter_event = true;
+            EXPECT_DOUBLE_EQ(event.find("args")
+                                 ->find("value")
+                                 ->asDouble(),
+                             1.0);
+        }
+    }
+    EXPECT_TRUE(process_meta);
+    EXPECT_TRUE(thread_meta);
+    EXPECT_TRUE(cell_slice);
+    EXPECT_TRUE(counter_event);
+}
+
+/**
+ * Grid integration: record a small sweep, write the Chrome trace,
+ * re-parse the file and reconcile it with the grid — one "cell"
+ * slice per grid cell, every slice on a labelled worker track, and
+ * phase children present. The recorded sweep's Metrics must be
+ * bit-identical to an unrecorded one.
+ */
+TEST(SpanRecorderGrid, TraceFileReconcilesWithGrid)
+{
+    core::RunOptions options;
+    options.warmupInstructions = 20'000;
+    options.measureInstructions = 50'000;
+    const core::PolicyGrid grid = core::PolicyGrid::sweep(
+        std::vector<trace::WorkloadProfile>{
+            trace::profileByName("tomcat"),
+            trace::profileByName("kafka")},
+        {"TPLRU", "P(8):S&E"}, options);
+
+    SpanRecorder recorder;
+    core::ThreadPool pool(2);
+    const core::GridResults recorded =
+        core::runGrid(grid, pool, {}, &recorder);
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "flight_trace.json";
+    ChromeTraceWriter::write(path, recorder);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::ostringstream text;
+    text << in.rdbuf();
+    const JsonValue doc = JsonValue::parse(text.str());
+    ASSERT_TRUE(doc.isArray());
+
+    std::size_t cell_slices = 0;
+    std::set<std::uint64_t> cell_tids;
+    std::set<std::string> phase_children;
+    std::set<std::uint64_t> labelled_tids;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+        const JsonValue &event = doc.at(i);
+        const std::string phase = event.find("ph")->asString();
+        const std::string name = event.find("name")->asString();
+        if (phase == "M" && name == "thread_name") {
+            const std::string label =
+                event.find("args")->find("name")->asString();
+            EXPECT_TRUE(label.rfind("worker-", 0) == 0 ||
+                        label == "caller")
+                << label;
+            labelled_tids.insert(
+                event.find("tid")->asUint());
+        }
+        if (phase != "X")
+            continue;
+        if (name == "cell") {
+            ++cell_slices;
+            cell_tids.insert(event.find("tid")->asUint());
+            EXPECT_TRUE(event.find("args")->find("workload"));
+            EXPECT_TRUE(event.find("args")->find("policy"));
+            EXPECT_TRUE(
+                event.find("args")->find("minst_per_sec"));
+        } else if (name == "warmup" || name == "measure" ||
+                   name == "stat_export") {
+            phase_children.insert(name);
+        }
+    }
+    // Exactly one slice per grid cell, each on a labelled track.
+    EXPECT_EQ(cell_slices, grid.cellCount());
+    for (const std::uint64_t tid : cell_tids)
+        EXPECT_TRUE(labelled_tids.count(tid)) << "tid " << tid;
+    EXPECT_EQ(phase_children.size(), 3u);
+
+    // Counter tracks reached the file: the last cells_completed
+    // sample equals the cell count.
+    double last_completed = 0.0;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+        const JsonValue &event = doc.at(i);
+        if (event.find("ph")->asString() == "C" &&
+            event.find("name")->asString() == "cells_completed")
+            last_completed =
+                event.find("args")->find("value")->asDouble();
+    }
+    EXPECT_DOUBLE_EQ(last_completed,
+                     static_cast<double>(grid.cellCount()));
+
+    // Recording must not perturb the simulation.
+    const core::GridResults plain = core::runGrid(grid, pool);
+    for (std::size_t w = 0; w < grid.workloads.size(); ++w)
+        for (std::size_t r = 0; r < grid.runs.size(); ++r) {
+            EXPECT_EQ(recorded.at(w, r).cycles,
+                      plain.at(w, r).cycles);
+            EXPECT_EQ(recorded.at(w, r).instructions,
+                      plain.at(w, r).instructions);
+        }
+
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace emissary

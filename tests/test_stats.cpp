@@ -58,6 +58,63 @@ TEST(BoundedHistogram, BadBoundsThrow)
     EXPECT_THROW(BoundedHistogram({}), std::invalid_argument);
 }
 
+TEST(BoundedHistogram, JsonRoundTrip)
+{
+    BoundedHistogram h({0, 100, 5000});
+    h.sample(5, 7);
+    h.sample(250);
+    h.sample(9000, 2);
+
+    const JsonValue doc = h.toJson();
+    // Round-trip through the serialised text, exactly as a consumer
+    // of the sweep JSON would see it.
+    const BoundedHistogram back =
+        BoundedHistogram::fromJson(JsonValue::parse(doc.dump()));
+    ASSERT_EQ(back.bucketCount(), h.bucketCount());
+    for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+        EXPECT_EQ(back.lowerBound(i), h.lowerBound(i));
+        EXPECT_EQ(back.count(i), h.count(i));
+    }
+    EXPECT_EQ(back.total(), h.total());
+}
+
+TEST(BoundedHistogram, FromJsonRejectsMalformedDocuments)
+{
+    // Missing members.
+    EXPECT_THROW(
+        BoundedHistogram::fromJson(JsonValue::parse("{}")),
+        std::invalid_argument);
+    // bounds/counts length mismatch.
+    EXPECT_THROW(BoundedHistogram::fromJson(JsonValue::parse(
+                     R"({"bounds":[0,10],"counts":[1],"total":1})")),
+                 std::invalid_argument);
+    // A total that does not match the counts.
+    EXPECT_THROW(
+        BoundedHistogram::fromJson(JsonValue::parse(
+            R"({"bounds":[0,10],"counts":[1,2],"total":7})")),
+        std::invalid_argument);
+}
+
+TEST(BoundedHistogram, Log2Bounds)
+{
+    const auto bounds = BoundedHistogram::log2Bounds(5);
+    const std::vector<std::uint64_t> expected = {0, 1, 2, 4, 8};
+    EXPECT_EQ(bounds, expected);
+
+    BoundedHistogram h(BoundedHistogram::log2Bounds(32));
+    EXPECT_EQ(h.bucketCount(), 32u);
+    EXPECT_EQ(h.bucketFor(0), 0u);
+    EXPECT_EQ(h.bucketFor(1), 1u);
+    EXPECT_EQ(h.bucketFor(3), 2u);
+    // The last bucket is open-ended: 2^30 and anything above.
+    EXPECT_EQ(h.bucketFor(1ull << 40), 31u);
+
+    EXPECT_THROW(BoundedHistogram::log2Bounds(1),
+                 std::invalid_argument);
+    EXPECT_THROW(BoundedHistogram::log2Bounds(66),
+                 std::invalid_argument);
+}
+
 TEST(BoundedHistogram, Reset)
 {
     BoundedHistogram h({0, 10});

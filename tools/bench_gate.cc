@@ -1,0 +1,302 @@
+/**
+ * @file
+ * bench_gate: throughput-regression gate for the sweep engine.
+ *
+ * Compares a freshly measured sweep JSON ("emissary.sweep.v1",
+ * written by emissary_sim --stats-json or the bench harnesses via
+ * EMISSARY_BENCH_JSON) against the committed baseline history in
+ * results/BENCH_throughput.json ("emissary.bench_throughput.v2"):
+ *
+ *   bench_gate --measured fig5_sweep.json
+ *   bench_gate --measured fig5_sweep.json --strict --tolerance 0.3
+ *   bench_gate --measured fig5_sweep.json --append \
+ *              --note "replay cache rework"
+ *
+ * The gate metric (default instructions_per_second) is read from the
+ * sweep's timing block and divided by the newest history entry's
+ * value. A ratio below 1 - tolerance is a regression: reported
+ * always, fatal only with --strict — CI machines and the machine
+ * that recorded the baseline differ, so warn-only is the default and
+ * the tolerance is deliberately wide. See docs/performance.md.
+ *
+ * --self-test halves the measured value first and exits 0 only if
+ * the gate flags the synthetic regression, proving the comparison is
+ * actually wired to the data.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "stats/json.hh"
+
+namespace
+{
+
+using emissary::stats::JsonValue;
+
+JsonValue
+readJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return JsonValue::parse(text.str());
+}
+
+/** Member lookup that throws with the file/key context instead of
+ *  returning null. */
+const JsonValue &
+need(const JsonValue &doc, const char *key, const std::string &where)
+{
+    const JsonValue *value = doc.find(key);
+    if (!value)
+        throw std::runtime_error(where + ": missing key '" + key +
+                                 "'");
+    return *value;
+}
+
+double
+needNumber(const JsonValue &doc, const char *key,
+           const std::string &where)
+{
+    return need(doc, key, where).asDouble();
+}
+
+/** Today as YYYY-MM-DD (local time), for appended history entries. */
+std::string
+today()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_buf{};
+    localtime_r(&now, &tm_buf);
+    char text[16];
+    std::snprintf(text, sizeof(text), "%04d-%02d-%02d",
+                  tm_buf.tm_year + 1900, tm_buf.tm_mon + 1,
+                  tm_buf.tm_mday);
+    return text;
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s --measured SWEEP.json [options]\n"
+        "  --measured FILE   sweep JSON to judge (required)\n"
+        "  --baseline FILE   history file (default\n"
+        "                    results/BENCH_throughput.json)\n"
+        "  --metric NAME     instructions_per_second (default) or\n"
+        "                    runs_per_second\n"
+        "  --tolerance X     allowed fractional drop below the\n"
+        "                    baseline (default 0.40)\n"
+        "  --strict          exit 1 on regression (default: warn)\n"
+        "  --report FILE     write the verdict as JSON\n"
+        "                    (emissary.bench_gate.v1)\n"
+        "  --append          append the measurement to the baseline\n"
+        "                    history (making it the new baseline)\n"
+        "  --note TEXT       description for the appended entry\n"
+        "  --self-test       halve the measured value and require\n"
+        "                    the gate to flag the regression\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path = "results/BENCH_throughput.json";
+    std::string measured_path;
+    std::string metric = "instructions_per_second";
+    std::string report_path;
+    std::string note;
+    double tolerance = 0.40;
+    bool strict = false;
+    bool append = false;
+    bool self_test = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--baseline") {
+            baseline_path = value();
+        } else if (arg == "--measured") {
+            measured_path = value();
+        } else if (arg == "--metric") {
+            metric = value();
+        } else if (arg == "--tolerance") {
+            tolerance = std::atof(value());
+        } else if (arg == "--strict") {
+            strict = true;
+        } else if (arg == "--report") {
+            report_path = value();
+        } else if (arg == "--append") {
+            append = true;
+        } else if (arg == "--note") {
+            note = value();
+        } else if (arg == "--self-test") {
+            self_test = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (measured_path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (metric != "instructions_per_second" &&
+        metric != "runs_per_second") {
+        std::fprintf(stderr, "--metric: unknown metric '%s'\n",
+                     metric.c_str());
+        return 2;
+    }
+    if (tolerance <= 0.0 || tolerance >= 1.0) {
+        std::fprintf(stderr,
+                     "--tolerance: expected a fraction in (0, 1)\n");
+        return 2;
+    }
+
+    try {
+        JsonValue baseline_doc = readJsonFile(baseline_path);
+        const std::string schema =
+            need(baseline_doc, "schema", baseline_path).asString();
+        if (schema != "emissary.bench_throughput.v2")
+            throw std::runtime_error(
+                baseline_path + ": expected schema "
+                "emissary.bench_throughput.v2, got " + schema);
+        const JsonValue &history =
+            need(baseline_doc, "history", baseline_path);
+        if (history.size() == 0)
+            throw std::runtime_error(baseline_path +
+                                     ": empty history");
+        const JsonValue &newest = history.at(history.size() - 1);
+        const double baseline_value =
+            needNumber(newest, metric.c_str(), baseline_path);
+        if (baseline_value <= 0.0)
+            throw std::runtime_error(baseline_path +
+                                     ": non-positive baseline " +
+                                     metric);
+
+        const JsonValue measured_doc = readJsonFile(measured_path);
+        const JsonValue &timing =
+            need(measured_doc, "timing", measured_path);
+        double measured_value =
+            needNumber(timing, metric.c_str(), measured_path);
+        if (self_test) {
+            std::printf("bench_gate: self-test — halving the "
+                        "measured %s\n",
+                        metric.c_str());
+            measured_value /= 2.0;
+        }
+
+        const double ratio = measured_value / baseline_value;
+        const char *status = "ok";
+        if (ratio < 1.0 - tolerance)
+            status = "regression";
+        else if (ratio > 1.0 + tolerance)
+            status = "improvement";
+
+        std::printf(
+            "bench_gate: %s measured %.4g, baseline %.4g "
+            "(%s, %s)\n  ratio %.3f against tolerance [%.3f, %.3f] "
+            "-> %s\n",
+            metric.c_str(), measured_value, baseline_value,
+            need(newest, "date", baseline_path).asString().c_str(),
+            baseline_path.c_str(), ratio, 1.0 - tolerance,
+            1.0 + tolerance, status);
+
+        if (!report_path.empty()) {
+            JsonValue report = JsonValue::object();
+            report.set("schema",
+                       JsonValue("emissary.bench_gate.v1"));
+            report.set("metric", JsonValue(metric));
+            report.set("measured", JsonValue(measured_value));
+            report.set("baseline", JsonValue(baseline_value));
+            report.set("baseline_date",
+                       need(newest, "date", baseline_path));
+            report.set("ratio", JsonValue(ratio));
+            report.set("tolerance", JsonValue(tolerance));
+            report.set("status", JsonValue(status));
+            report.set("strict", JsonValue(strict));
+            report.set("self_test", JsonValue(self_test));
+            if (const JsonValue *provenance =
+                    measured_doc.find("provenance"))
+                report.set("provenance", *provenance);
+            emissary::stats::writeJsonFile(report_path, report);
+        }
+
+        if (self_test) {
+            const bool detected =
+                std::strcmp(status, "regression") == 0;
+            std::printf("bench_gate: self-test %s\n",
+                        detected ? "OK (regression detected)"
+                                 : "FAILED (regression missed)");
+            return detected ? 0 : 1;
+        }
+
+        if (append) {
+            JsonValue entry = JsonValue::object();
+            entry.set("date", JsonValue(today()));
+            entry.set("description",
+                      JsonValue(note.empty() ? "appended by "
+                                               "bench_gate"
+                                             : note));
+            if (const JsonValue *workers = timing.find("workers"))
+                entry.set("jobs", *workers);
+            entry.set("total_seconds",
+                      JsonValue(needNumber(timing, "total_seconds",
+                                           measured_path)));
+            entry.set("runs_per_second",
+                      JsonValue(needNumber(timing, "runs_per_second",
+                                           measured_path)));
+            entry.set("instructions",
+                      need(timing, "instructions", measured_path));
+            entry.set("instructions_per_second",
+                      JsonValue(needNumber(
+                          timing, "instructions_per_second",
+                          measured_path)));
+            if (const JsonValue *provenance =
+                    measured_doc.find("provenance"))
+                entry.set("provenance", *provenance);
+            JsonValue updated_history = history;
+            updated_history.push(std::move(entry));
+            baseline_doc.set("history", std::move(updated_history));
+            emissary::stats::writeJsonFile(baseline_path,
+                                           baseline_doc);
+            std::printf("bench_gate: appended entry %zu to %s\n",
+                        static_cast<std::size_t>(history.size() + 1),
+                        baseline_path.c_str());
+        }
+
+        if (std::strcmp(status, "regression") == 0 && strict) {
+            std::fprintf(stderr,
+                         "bench_gate: FAIL (strict): %s regressed "
+                         "beyond tolerance\n",
+                         metric.c_str());
+            return 1;
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench_gate: error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -19,23 +19,29 @@
  *                --jobs 8
  */
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/buildinfo.hh"
 #include "core/catalog.hh"
 #include "core/experiment.hh"
 #include "core/grid.hh"
 #include "core/observability.hh"
 #include "core/simulator.hh"
 #include "core/threadpool.hh"
+#include "stats/chrome_trace.hh"
 #include "stats/json.hh"
 #include "stats/registry.hh"
+#include "stats/span_recorder.hh"
 #include "stats/table.hh"
 #include "stats/trace_sink.hh"
 #include "trace/executor.hh"
@@ -103,7 +109,15 @@ usage(const char *argv0)
         "  --reset N            clear priority bits every N instrs\n"
         "  --seed N             machine seed\n"
         "  --csv                one-line CSV output\n"
-        "  --stats-json FILE    write the run (or sweep) as JSON\n"
+        "  --stats-json FILE    write the run (or sweep) as JSON;\n"
+        "                       '-' writes to stdout and silences\n"
+        "                       the human-readable report\n"
+        "  --perf-trace FILE    flight-recorder Chrome trace of the\n"
+        "                       run or sweep (open in Perfetto; see\n"
+        "                       docs/observability.md)\n"
+        "  --progress           live sweep progress on stderr\n"
+        "                       (auto-disabled when stderr is not a\n"
+        "                       terminal)\n"
         "  --sample-interval N  snapshot counters + P-bit occupancy\n"
         "                       every N committed instructions\n"
         "  --trace-out FILE     JSONL event trace of the measured\n"
@@ -187,8 +201,59 @@ runJson(const core::Metrics &m, const core::RunOptions &options,
     doc.set("counters", core::registryJson(registry));
     if (sampler.enabled())
         doc.set("samples", sampler.toJson());
+    doc.set("provenance", core::buildProvenanceJson());
     return doc;
 }
+
+/** "-" sends the document to stdout; anything else is a file path. */
+void
+writeJsonOut(const std::string &path, const stats::JsonValue &doc)
+{
+    if (path == "-")
+        std::printf("%s\n", doc.dump(2).c_str());
+    else
+        stats::writeJsonFile(path, doc);
+}
+
+/** \r-rewritten stderr progress line for sweeps: completed cells,
+ *  throughput and a wall-clock ETA. The grid engine serializes the
+ *  progress callback, so tick() needs no locking of its own. */
+class ProgressMeter
+{
+  public:
+    explicit ProgressMeter(std::size_t total)
+        : total_(total), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    void
+    tick()
+    {
+        ++done_;
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        const double rate =
+            elapsed > 0.0 ? static_cast<double>(done_) / elapsed
+                          : 0.0;
+        const double eta =
+            rate > 0.0
+                ? static_cast<double>(total_ - done_) / rate
+                : 0.0;
+        std::fprintf(stderr,
+                     "\r[%zu/%zu] %.2f runs/s, ETA %.0fs ", done_,
+                     total_, rate, eta);
+        if (done_ == total_)
+            std::fputc('\n', stderr);
+        std::fflush(stderr);
+    }
+
+  private:
+    std::size_t total_;
+    std::size_t done_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
 
 } // namespace
 
@@ -207,7 +272,9 @@ main(int argc, char **argv)
     std::uint64_t reset = 0;
     std::uint64_t jobs = 0;
     bool csv = false;
+    bool progress = false;
     std::string stats_json_path;
+    std::string perf_trace_path;
     std::string trace_out_path;
     std::string trace_categories_csv;
     std::uint64_t sample_interval = 0;
@@ -250,6 +317,10 @@ main(int argc, char **argv)
             warmup = parseU64(arg, value());
         } else if (arg == "--stats-json") {
             stats_json_path = value();
+        } else if (arg == "--perf-trace") {
+            perf_trace_path = value();
+        } else if (arg == "--progress") {
+            progress = true;
         } else if (arg == "--sample-interval") {
             sample_interval = parseU64(arg, value());
         } else if (arg == "--trace-out") {
@@ -370,8 +441,28 @@ main(int argc, char **argv)
             const core::PolicyGrid grid = core::PolicyGrid::sweep(
                 workloads, policies, run_options);
             core::ThreadPool pool(static_cast<unsigned>(jobs));
+
+            std::unique_ptr<stats::SpanRecorder> flight;
+            if (!perf_trace_path.empty())
+                flight = std::make_unique<stats::SpanRecorder>();
+            // The progress line is a terminal affordance: skip it
+            // when stderr is piped, or when the sweep JSON itself is
+            // going to stdout (keep "- | jq" pipelines quiet).
+            const bool live_progress =
+                progress && isatty(fileno(stderr)) != 0 &&
+                stats_json_path != "-";
+            ProgressMeter meter(grid.cellCount());
+            std::function<void(std::size_t, std::size_t)> on_cell;
+            if (live_progress)
+                on_cell = [&meter](std::size_t, std::size_t) {
+                    meter.tick();
+                };
+
             const core::GridResults results =
-                core::runGrid(grid, pool);
+                core::runGrid(grid, pool, on_cell, flight.get());
+            if (flight)
+                stats::ChromeTraceWriter::write(perf_trace_path,
+                                                *flight);
 
             stats::Table table({"benchmark", "policy", "IPC",
                                 "L2I MPKI", "L2D MPKI",
@@ -390,7 +481,9 @@ main(int argc, char **argv)
                              core::speedupPercent(base, m), 2)});
                 }
             }
-            if (csv) {
+            if (stats_json_path == "-") {
+                // stdout is the JSON document; keep it clean.
+            } else if (csv) {
                 std::printf("%s", table.renderCsv().c_str());
             } else {
                 std::printf("%s\n", table.render().c_str());
@@ -402,7 +495,8 @@ main(int argc, char **argv)
                         .c_str());
             }
             if (!stats_json_path.empty())
-                core::writeSweepJson(stats_json_path, grid, results);
+                writeJsonOut(stats_json_path,
+                             core::sweepJson(grid, results));
             return 0;
         }
 
@@ -419,18 +513,36 @@ main(int argc, char **argv)
                     trace_out_path, trace_categories);
                 instr.traceSink = sink.get();
             }
-            const core::Metrics m = core::runPolicy(
-                program,
-                replacement::PolicySpec::parse(
-                    machine_options.l2Policy),
-                replacement::PolicySpec::parse(
-                    run_options.l1iPolicy),
-                run_options, &instr);
+            std::unique_ptr<stats::SpanRecorder> flight;
+            if (!perf_trace_path.empty()) {
+                flight = std::make_unique<stats::SpanRecorder>();
+                flight->labelThread("main");
+            }
+            core::Metrics m;
+            {
+                stats::ScopedTimer span(flight.get(), "run");
+                span.arg("benchmark", stats::JsonValue(benchmark));
+                span.arg("policy", stats::JsonValue(
+                                       machine_options.l2Policy));
+                core::RunTelemetry telemetry;
+                telemetry.spans = flight.get();
+                m = core::runPolicy(
+                    program,
+                    replacement::PolicySpec::parse(
+                        machine_options.l2Policy),
+                    replacement::PolicySpec::parse(
+                        run_options.l1iPolicy),
+                    run_options, &instr, &telemetry);
+            }
+            if (flight)
+                stats::ChromeTraceWriter::write(perf_trace_path,
+                                                *flight);
             if (sink)
                 sink->close();
-            printMetrics(m, csv);
+            if (stats_json_path != "-")
+                printMetrics(m, csv);
             if (!stats_json_path.empty())
-                stats::writeJsonFile(
+                writeJsonOut(
                     stats_json_path,
                     runJson(m, run_options, instr.registry,
                             instr.sampler, instr.wallSeconds));
@@ -490,12 +602,26 @@ main(int argc, char **argv)
                 trace_out_path, trace_categories);
             simulator.setTraceSink(sink.get());
         }
+        std::unique_ptr<stats::SpanRecorder> flight;
+        if (!perf_trace_path.empty()) {
+            flight = std::make_unique<stats::SpanRecorder>();
+            flight->labelThread("main");
+        }
         const auto run_start = std::chrono::steady_clock::now();
-        core::Metrics m = simulator.run();
+        core::Metrics m;
+        {
+            stats::ScopedTimer span(flight.get(), "run");
+            span.arg("policy",
+                     stats::JsonValue(machine_options.l2Policy));
+            m = simulator.run();
+        }
         const double wall_seconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - run_start)
                 .count();
+        if (flight)
+            stats::ChromeTraceWriter::write(perf_trace_path,
+                                            *flight);
         if (sink)
             sink->close();
         if (writer)
@@ -507,7 +633,8 @@ main(int argc, char **argv)
             m.codeFootprintLines =
                 packed_source->info().uniqueCodeLines;
 
-        printMetrics(m, csv);
+        if (stats_json_path != "-")
+            printMetrics(m, csv);
         if (!stats_json_path.empty()) {
             stats::Registry registry;
             simulator.exportRegistry(registry);
@@ -549,7 +676,7 @@ main(int argc, char **argv)
                 }
                 doc.set("workload", std::move(provenance));
             }
-            stats::writeJsonFile(stats_json_path, doc);
+            writeJsonOut(stats_json_path, doc);
         }
         return 0;
     } catch (const std::exception &e) {
