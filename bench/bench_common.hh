@@ -60,6 +60,27 @@ banner(const char *experiment, const char *paper_ref,
 }
 
 /**
+ * Grid scheduling from the environment: EMISSARY_FUSED=1 runs each
+ * workload's policies as one fused trace pass (core::runPolicyGroup);
+ * EMISSARY_SAMPLED_SETS=K additionally samples the monitor lanes
+ * 1-in-K (fast mode, implies fused). Unset = the sequential engine,
+ * exactly as before.
+ */
+inline core::GridOptions
+gridOptionsFromEnv()
+{
+    core::GridOptions options;
+    const char *fused = std::getenv("EMISSARY_FUSED");
+    options.fused =
+        fused && *fused != '\0' && std::string(fused) != "0";
+    options.sampledSets = static_cast<unsigned>(
+        core::envU64("EMISSARY_SAMPLED_SETS", 0));
+    if (options.sampledSets > 1)
+        options.fused = true;
+    return options;
+}
+
+/**
  * Progress reporter for runGrid: prints "[name done]" once every run
  * of a workload has completed. runGrid serializes callback
  * invocations, so the plain counters need no locking.
@@ -101,12 +122,21 @@ runGridRecorded(const char *bench_name, const core::PolicyGrid &grid,
                 const std::function<void(std::size_t, std::size_t)>
                     &progress = {})
 {
+    const core::GridOptions options = gridOptionsFromEnv();
+    if (options.fused)
+        std::printf("[%s] scheduling: fused%s\n", bench_name,
+                    options.sampledSets > 1
+                        ? (" (fast mode, 1-in-" +
+                           std::to_string(options.sampledSets) +
+                           " sets)")
+                              .c_str()
+                        : "");
     const char *path = std::getenv("EMISSARY_PERF_TRACE");
     if (!path || *path == '\0')
-        return core::runGrid(grid, pool, progress);
+        return core::runGrid(grid, pool, options, progress);
     stats::SpanRecorder recorder;
     core::GridResults results =
-        core::runGrid(grid, pool, progress, &recorder);
+        core::runGrid(grid, pool, options, progress, &recorder);
     stats::ChromeTraceWriter::write(path, recorder);
     std::printf("[%s] flight trace: %s (%zu spans)\n", bench_name,
                 path, recorder.spanCount());

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Fast-mode error bounds: sweeps the full datacenter suite (the
+ * fig5 workloads) under the sequential reference engine and under
+ * the fused engine at 1-in-1 (full monitors), 1-in-8 and 1-in-16
+ * sampled sets, then reports the max/mean MPKI error of every
+ * monitor cell against its sequential oracle. The resulting table
+ * is the source of the bounds quoted in docs/performance.md and is
+ * archived in results/fastmode_validation.txt.
+ *
+ * Timing lanes (the first policy of each workload's group) are
+ * checked for strict bit-identity with the sequential runs — the
+ * fused engine shares one pipeline per workload, so lane 0 must be
+ * the same simulation, not an approximation of it.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "trace/program.hh"
+
+namespace
+{
+
+/** Per-mode error accumulator over monitor cells. */
+struct ErrorStats
+{
+    double maxAbs = 0.0;
+    double sumAbs = 0.0;
+    std::uint64_t samples = 0;
+
+    void
+    add(double reference, double candidate)
+    {
+        const double err = std::fabs(candidate - reference);
+        if (err > maxAbs)
+            maxAbs = err;
+        sumAbs += err;
+        ++samples;
+    }
+
+    double
+    meanAbs() const
+    {
+        return samples > 0 ? sumAbs / static_cast<double>(samples)
+                           : 0.0;
+    }
+};
+
+struct ModeReport
+{
+    std::string label;
+    ErrorStats l2Inst;
+    ErrorStats l2Data;
+    ErrorStats l3;
+    ErrorStats speedupPct;
+    std::uint64_t timingMismatches = 0;
+    double seconds = 0.0;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace emissary;
+    const auto options = bench::defaultOptions(1'000'000);
+    bench::banner("fast-mode validation - fused/sampled error bounds",
+                  "methodology check (sampled-set fast mode)",
+                  options);
+
+    // The fig5 policy shape in miniature: the TPLRU baseline first
+    // (it becomes every group's timing lane), then the headline
+    // EMISSARY points and an insertion-policy control.
+    const std::vector<std::string> policies = {
+        "TPLRU", "P(8):S&E&R(1/32)", "P(8):S", "M:R(1/32)"};
+    const std::vector<trace::WorkloadProfile> workloads =
+        core::selectedBenchmarks();
+    const core::PolicyGrid grid =
+        core::PolicyGrid::sweep(workloads, policies, options);
+    core::ThreadPool pool;
+
+    const auto run_mode = [&](const core::GridOptions &mode_options) {
+        const auto start = std::chrono::steady_clock::now();
+        core::GridResults results =
+            core::runGrid(grid, pool, mode_options, {});
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        return std::make_pair(std::move(results), seconds);
+    };
+
+    std::printf("reference pass: sequential engine, %zu cells\n",
+                grid.cellCount());
+    std::fflush(stdout);
+    auto [reference, reference_seconds] =
+        run_mode(core::GridOptions{});
+
+    const auto compare = [&](const std::string &label,
+                             unsigned sampled_sets) {
+        core::GridOptions mode;
+        mode.fused = true;
+        mode.sampledSets = sampled_sets;
+        std::printf("candidate pass: %s\n", label.c_str());
+        std::fflush(stdout);
+        auto [results, seconds] = run_mode(mode);
+
+        ModeReport report;
+        report.label = label;
+        report.seconds = seconds;
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const core::Metrics &base_ref = reference.at(w, 0);
+            for (std::size_t p = 0; p < policies.size(); ++p) {
+                const core::Metrics &ref = reference.at(w, p);
+                const core::Metrics &got = results.at(w, p);
+                if (p == 0) {
+                    // Timing lane: exact, not approximate.
+                    if (got.cycles != ref.cycles ||
+                        got.l2InstMpki != ref.l2InstMpki ||
+                        got.l2DataMpki != ref.l2DataMpki ||
+                        got.l3Mpki != ref.l3Mpki)
+                        ++report.timingMismatches;
+                    continue;
+                }
+                report.l2Inst.add(ref.l2InstMpki, got.l2InstMpki);
+                report.l2Data.add(ref.l2DataMpki, got.l2DataMpki);
+                report.l3.add(ref.l3Mpki, got.l3Mpki);
+                report.speedupPct.add(
+                    core::speedupPercent(base_ref, ref),
+                    core::speedupPercent(base_ref, got));
+            }
+        }
+        return report;
+    };
+
+    std::vector<ModeReport> reports;
+    reports.push_back(compare("fused, full monitors", 0));
+    reports.push_back(compare("fast mode, 1-in-8 sets", 8));
+    reports.push_back(compare("fast mode, 1-in-16 sets", 16));
+
+    stats::Table table({"mode", "L2I MPKI err max", "mean",
+                        "L2D MPKI err max", "mean",
+                        "L3 MPKI err max", "mean",
+                        "speedup% err max", "timing lanes",
+                        "speedup vs seq"});
+    for (const ModeReport &report : reports)
+        table.addRow(
+            {report.label, formatDouble(report.l2Inst.maxAbs, 3),
+             formatDouble(report.l2Inst.meanAbs(), 3),
+             formatDouble(report.l2Data.maxAbs, 3),
+             formatDouble(report.l2Data.meanAbs(), 3),
+             formatDouble(report.l3.maxAbs, 3),
+             formatDouble(report.l3.meanAbs(), 3),
+             formatDouble(report.speedupPct.maxAbs, 2),
+             report.timingMismatches == 0 ? "bit-identical"
+                                          : "MISMATCH",
+             formatDouble(reference_seconds /
+                              (report.seconds > 0.0 ? report.seconds
+                                                    : 1.0),
+                          2) +
+                 "x"});
+
+    const std::string rendered = table.render();
+    std::printf("\nmonitor-cell error vs sequential oracle (%zu "
+                "workloads x %zu monitor policies):\n%s\n",
+                workloads.size(), policies.size() - 1,
+                rendered.c_str());
+    std::printf("sequential reference: %.2f s wall\n",
+                reference_seconds);
+
+    // Archive the table for docs/performance.md (opt-out by
+    // pointing EMISSARY_VALIDATION_OUT at an empty string).
+    const char *out_env = std::getenv("EMISSARY_VALIDATION_OUT");
+    const std::string out_path =
+        out_env ? out_env : "results/fastmode_validation.txt";
+    if (!out_path.empty()) {
+        if (std::FILE *out = std::fopen(out_path.c_str(), "w")) {
+            std::fprintf(
+                out,
+                "Fast-mode validation: monitor-cell error vs the\n"
+                "sequential oracle over the full datacenter suite\n"
+                "(%zu workloads; policies: TPLRU timing lane +\n"
+                "P(8):S&E&R(1/32), P(8):S, M:R(1/32) monitors;\n"
+                "window %llu warm + %llu measured instructions).\n"
+                "Regenerate: bench_fastmode_validation\n\n%s\n"
+                "sequential reference: %.2f s wall\n",
+                workloads.size(),
+                static_cast<unsigned long long>(
+                    options.warmupInstructions),
+                static_cast<unsigned long long>(
+                    options.measureInstructions),
+                rendered.c_str(), reference_seconds);
+            std::fclose(out);
+            std::printf("validation table: %s\n", out_path.c_str());
+        } else {
+            std::printf("validation table: cannot write %s "
+                        "(run from the repo root)\n",
+                        out_path.c_str());
+        }
+    }
+
+    std::uint64_t mismatches = 0;
+    for (const ModeReport &report : reports)
+        mismatches += report.timingMismatches;
+    if (mismatches != 0) {
+        std::printf("FAIL: %llu timing-lane mismatches\n",
+                    static_cast<unsigned long long>(mismatches));
+        return 1;
+    }
+    return 0;
+}

@@ -110,6 +110,27 @@ for stage in $STAGES; do
             --self-test
         build-ci-release/tools/json_check \
             "$art/bench_gate_report.json" status ratio tolerance
+        # The same short sweep fused: one trace pass per workload
+        # drives all policy lanes. The sweep JSON must say so, and
+        # the gate (warn mode, like above) sees the fused numbers so
+        # its report tracks the engine the big sweeps actually use.
+        mkdir -p "$art/fused"
+        EMISSARY_FUSED=1 \
+        EMISSARY_JOBS=1 \
+        EMISSARY_BENCHMARKS=tomcat,kafka,verilator \
+        EMISSARY_BENCH_INSTRUCTIONS=200000 \
+        EMISSARY_BENCH_JSON="$art/fused" \
+            build-ci-release/bench/bench_fig5_policy_sweep \
+            >"$art/fig5_fused_smoke.txt"
+        grep -q 'scheduling: fused' "$art/fig5_fused_smoke.txt" ||
+            { echo "fused sweep did not report fused scheduling" >&2
+              exit 1; }
+        build-ci-release/tools/json_check \
+            "$art/fused/fig5_policy_sweep_sweep.json" \
+            mode timing.phases.measure_seconds provenance.git_sha
+        build-ci-release/tools/bench_gate \
+            --measured "$art/fused/fig5_policy_sweep_sweep.json" \
+            --report "$art/bench_gate_fused_report.json"
         echo "throughput smoke OK"
         ;;
     tracepack)

@@ -1,12 +1,19 @@
 #include "cache/cache.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
 #include "replacement/emissary.hh"
 #include "replacement/tplru.hh"
 #include "util/bitutil.hh"
+
+#if defined(__AVX2__) || defined(__SSE2__)
+#include <immintrin.h>
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#include <arm_neon.h>
+#endif
 
 namespace emissary::cache
 {
@@ -24,6 +31,11 @@ Cache::Cache(const Config &config)
         throw std::invalid_argument(config_.name +
                                     ": set count must be a power of 2");
     setShift_ = floorLog2(sets_);
+    tagShift_ = setShift_ + config_.indexShift;
+    if (config_.indexShift >= 32 ||
+        config_.indexOffset >= (std::uint64_t{1} << config_.indexShift))
+        throw std::invalid_argument(
+            config_.name + ": indexOffset must fit in indexShift bits");
     lines_.assign(std::size_t{sets_} * config_.ways, CacheLine{});
     tags_.assign(std::size_t{sets_} * config_.ways, kInvalidTag);
     policy_ = replacement::makePolicy(spec_, sets_, config_.ways,
@@ -113,7 +125,8 @@ Cache::policySelectVictim(unsigned set)
 unsigned
 Cache::setIndex(std::uint64_t line_addr) const
 {
-    return static_cast<unsigned>(line_addr & (sets_ - 1));
+    return static_cast<unsigned>((line_addr >> config_.indexShift) &
+                                 (sets_ - 1));
 }
 
 CacheLine &
@@ -129,24 +142,89 @@ Cache::lineAt(unsigned set, unsigned way) const
 }
 
 int
-Cache::findWay(unsigned set, std::uint64_t tag) const
+Cache::findWayScalar(const std::uint64_t *tags, unsigned ways,
+                     std::uint64_t tag)
 {
-    // Contiguous per-set tag lane: 16 ways compare within two cache
-    // lines. Invalid ways hold kInvalidTag and can never match.
-    const std::uint64_t *tags =
-        tags_.data() + std::size_t{set} * config_.ways;
-    for (unsigned w = 0; w < config_.ways; ++w) {
+    for (unsigned w = 0; w < ways; ++w) {
         if (tags[w] == tag)
             return static_cast<int>(w);
     }
     return -1;
 }
 
+int
+Cache::findWayVector(const std::uint64_t *tags, unsigned ways,
+                     std::uint64_t tag)
+{
+#if defined(__AVX2__)
+    unsigned w = 0;
+    const __m256i needle =
+        _mm256_set1_epi64x(static_cast<long long>(tag));
+    for (; w + 4 <= ways; w += 4) {
+        const __m256i lane = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tags + w));
+        const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(lane, needle)));
+        if (mask)
+            return static_cast<int>(
+                w + std::countr_zero(static_cast<unsigned>(mask)));
+    }
+    const int tail = findWayScalar(tags + w, ways - w, tag);
+    return tail < 0 ? -1 : static_cast<int>(w) + tail;
+#elif defined(__SSE2__)
+    unsigned w = 0;
+    const __m128i needle =
+        _mm_set1_epi64x(static_cast<long long>(tag));
+    for (; w + 2 <= ways; w += 2) {
+        const __m128i lane = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(tags + w));
+#if defined(__SSE4_1__)
+        const __m128i eq = _mm_cmpeq_epi64(lane, needle);
+#else
+        // Plain SSE2 has no 64-bit compare: compare the 32-bit
+        // halves, then AND each half with its sibling so an element
+        // reads all-ones only when both halves matched.
+        const __m128i eq32 = _mm_cmpeq_epi32(lane, needle);
+        const __m128i eq = _mm_and_si128(
+            eq32,
+            _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+#endif
+        const int mask = _mm_movemask_pd(_mm_castsi128_pd(eq));
+        if (mask)
+            return static_cast<int>(
+                w + std::countr_zero(static_cast<unsigned>(mask)));
+    }
+    return w < ways && tags[w] == tag ? static_cast<int>(w) : -1;
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+    unsigned w = 0;
+    const uint64x2_t needle = vdupq_n_u64(tag);
+    for (; w + 2 <= ways; w += 2) {
+        const uint64x2_t eq = vceqq_u64(vld1q_u64(tags + w), needle);
+        if (vgetq_lane_u64(eq, 0))
+            return static_cast<int>(w);
+        if (vgetq_lane_u64(eq, 1))
+            return static_cast<int>(w + 1);
+    }
+    return w < ways && tags[w] == tag ? static_cast<int>(w) : -1;
+#else
+    return findWayScalar(tags, ways, tag);
+#endif
+}
+
+int
+Cache::findWay(unsigned set, std::uint64_t tag) const
+{
+    // Contiguous per-set tag lane: 16 ways compare within two cache
+    // lines. Invalid ways hold kInvalidTag and can never match.
+    return findWayVector(tags_.data() + std::size_t{set} * config_.ways,
+                         config_.ways, tag);
+}
+
 const CacheLine *
 Cache::peek(std::uint64_t line_addr) const
 {
     const unsigned set = setIndex(line_addr);
-    const int way = findWay(set, line_addr >> setShift_);
+    const int way = findWay(set, line_addr >> tagShift_);
     return way < 0 ? nullptr : &lineAt(set, static_cast<unsigned>(way));
 }
 
@@ -154,15 +232,27 @@ CacheLine *
 Cache::peek(std::uint64_t line_addr)
 {
     const unsigned set = setIndex(line_addr);
-    const int way = findWay(set, line_addr >> setShift_);
+    const int way = findWay(set, line_addr >> tagShift_);
     return way < 0 ? nullptr : &lineAt(set, static_cast<unsigned>(way));
+}
+
+bool
+Cache::findPosition(std::uint64_t line_addr, unsigned &set,
+                    unsigned &way) const
+{
+    set = setIndex(line_addr);
+    const int found = findWay(set, line_addr >> tagShift_);
+    if (found < 0)
+        return false;
+    way = static_cast<unsigned>(found);
+    return true;
 }
 
 void
 Cache::touch(std::uint64_t line_addr)
 {
     const unsigned set = setIndex(line_addr);
-    const int way = findWay(set, line_addr >> setShift_);
+    const int way = findWay(set, line_addr >> tagShift_);
     assert(way >= 0 && "touch on absent line");
     CacheLine &line = lineAt(set, static_cast<unsigned>(way));
     line.prefetched = false;
@@ -177,7 +267,7 @@ Cache::insert(std::uint64_t line_addr, const replacement::LineInfo &info,
               bool is_instruction, bool dirty, bool sfl, bool prefetched)
 {
     const unsigned set = setIndex(line_addr);
-    const std::uint64_t tag = line_addr >> setShift_;
+    const std::uint64_t tag = line_addr >> tagShift_;
     assert(findWay(set, tag) < 0 && "double insert");
 
     Eviction evicted;
@@ -186,11 +276,15 @@ Cache::insert(std::uint64_t line_addr, const replacement::LineInfo &info,
         way = static_cast<int>(policySelectVictim(set));
         CacheLine &victim = lineAt(set, static_cast<unsigned>(way));
         evicted.valid = true;
-        evicted.lineAddr = (victim.tag << setShift_) | set;
+        evicted.lineAddr = (victim.tag << tagShift_) |
+                           (std::uint64_t{set} << config_.indexShift) |
+                           config_.indexOffset;
         evicted.line = victim;
         policyInvalidate(set, static_cast<unsigned>(way));
         victim = CacheLine{};
     }
+    evicted.set = set;
+    evicted.way = static_cast<unsigned>(way);
 
     CacheLine &line = lineAt(set, static_cast<unsigned>(way));
     line.valid = true;
@@ -210,13 +304,15 @@ Cache::Eviction
 Cache::invalidate(std::uint64_t line_addr)
 {
     const unsigned set = setIndex(line_addr);
-    const int way = findWay(set, line_addr >> setShift_);
+    const int way = findWay(set, line_addr >> tagShift_);
     Eviction out;
     if (way < 0)
         return out;
     CacheLine &line = lineAt(set, static_cast<unsigned>(way));
     out.valid = true;
     out.lineAddr = line_addr;
+    out.set = set;
+    out.way = static_cast<unsigned>(way);
     out.line = line;
     policyInvalidate(set, static_cast<unsigned>(way));
     line = CacheLine{};
@@ -243,7 +339,7 @@ void
 Cache::raisePriority(std::uint64_t line_addr)
 {
     const unsigned set = setIndex(line_addr);
-    const int way = findWay(set, line_addr >> setShift_);
+    const int way = findWay(set, line_addr >> tagShift_);
     if (way < 0)
         return;
     CacheLine &line = lineAt(set, static_cast<unsigned>(way));

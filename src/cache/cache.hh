@@ -57,13 +57,32 @@ class Cache
         unsigned hitLatency = 12;
         replacement::PolicySpec policy;
         std::uint64_t seed = 0xCAFEF00DULL;
+        /**
+         * Sampled-set monitor support (UMON/DEW idiom): the array
+         * indexes with set = (line >> indexShift) & (sets-1) and the
+         * low indexShift address bits are the constant indexOffset.
+         * A 1-in-K sampled lane models sets/K sets with
+         * indexShift = log2(K) and indexOffset = the sampled residue;
+         * full-size caches keep the defaults (identical indexing to
+         * before).
+         */
+        unsigned indexShift = 0;
+        std::uint64_t indexOffset = 0;
     };
 
-    /** What insert() pushed out, if anything. */
+    /**
+     * What insert() pushed out, if anything. set/way name the slot
+     * the operation touched — where the new line landed (insert) or
+     * the line was removed from (invalidate) — and are filled even
+     * when no line was displaced, so callers can maintain
+     * position-keyed shadow state (cache/lanes.hh).
+     */
     struct Eviction
     {
         bool valid = false;
         std::uint64_t lineAddr = 0;
+        unsigned set = 0;
+        unsigned way = 0;
         CacheLine line;
     };
 
@@ -79,6 +98,15 @@ class Cache
     /** Non-mutating lookup; nullptr when absent. */
     const CacheLine *peek(std::uint64_t line_addr) const;
     CacheLine *peek(std::uint64_t line_addr);
+
+    /**
+     * Non-mutating position probe: where @p line_addr lives. Used by
+     * monitor lanes to key shadow state by (set, way) of a shared
+     * cache without touching its replacement state.
+     * @return true and fills @p set / @p way when resident.
+     */
+    bool findPosition(std::uint64_t line_addr, unsigned &set,
+                      unsigned &way) const;
 
     /** Hit path: update replacement state; line must be present. */
     void touch(std::uint64_t line_addr);
@@ -166,6 +194,20 @@ class Cache
     const CacheLine &lineAt(unsigned set, unsigned way) const;
     int findWay(unsigned set, std::uint64_t tag) const;
 
+  public:
+    /**
+     * Portable scalar tag compare over one set's contiguous tag lane
+     * — the reference the vectorized findWay is cross-checked
+     * against (tests/test_cache_model.cpp).
+     */
+    static int findWayScalar(const std::uint64_t *tags, unsigned ways,
+                             std::uint64_t tag);
+    /** Vectorized tag compare (SSE2/AVX2/NEON; scalar fallback). */
+    static int findWayVector(const std::uint64_t *tags, unsigned ways,
+                             std::uint64_t tag);
+
+  private:
+
     // Devirtualized policy notifications (cache.cc).
     void policyHit(unsigned set, unsigned way,
                    const replacement::LineInfo &info);
@@ -178,6 +220,8 @@ class Cache
     replacement::PolicySpec spec_;
     unsigned sets_;
     unsigned setShift_;
+    /** Bits below the tag: setShift_ + config.indexShift. */
+    unsigned tagShift_;
     /**
      * Lookup path, struct-of-arrays: per-set contiguous tags (invalid
      * ways hold kInvalidTag), so findWay streams through one or two

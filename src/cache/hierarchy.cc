@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "cache/lanes.hh"
+
 namespace emissary::cache
 {
 
@@ -151,10 +153,22 @@ Hierarchy::missBelowL1(std::uint64_t line_addr, std::uint64_t now,
         }
     }
 
+    if (lanes_)
+        entry.laneSources =
+            lanes_->probe(line_addr, is_instruction, demandish);
+
     entry.readyCycle = now + latency;
     mshr_.emplace(line_addr, entry);
     completions_.emplace(entry.readyCycle, line_addr);
     return entry.readyCycle;
+}
+
+void
+Hierarchy::setLanes(PolicyLaneBank *lanes)
+{
+    lanes_ = lanes;
+    if (lanes_)
+        lanes_->bindShared(&l1i_, &l1d_);
 }
 
 void
@@ -190,7 +204,9 @@ Hierarchy::handleL2Eviction(const Cache::Eviction &ev)
     // Inclusive L2: remove stale copies from the L1s. A displaced
     // L1I priority bit dies with the line (it is leaving both
     // caches); a dirty L1D copy folds its data into the victim.
-    l1i_.invalidate(ev.lineAddr);
+    const Cache::Eviction ii = l1i_.invalidate(ev.lineAddr);
+    if (lanes_ && ii.valid)
+        lanes_->onSharedL1IInvalidate(ii.set, ii.way);
     const Cache::Eviction d = l1d_.invalidate(ev.lineAddr);
     if (d.valid && d.line.dirty)
         dirty = true;
@@ -310,6 +326,9 @@ Hierarchy::complete(std::uint64_t line_addr, Mshr &entry)
             if (observer_)
                 observer_->onPriorityUpgrade(ev.lineAddr);
         }
+        if (lanes_)
+            lanes_->completeInstruction(line_addr, entry, ctx,
+                                        l1i_selected, ev);
     } else {
         replacement::LineInfo info;
         info.isInstruction = false;
@@ -325,6 +344,8 @@ Hierarchy::complete(std::uint64_t line_addr, Mshr &entry)
             else
                 ++stats_.dramWrites;
         }
+        if (lanes_)
+            lanes_->completeData(line_addr, entry, ctx, ev);
     }
 }
 
@@ -362,6 +383,8 @@ Hierarchy::resetPriorities()
 {
     l1i_.resetPriorities();
     l2_.resetPriorities();
+    if (lanes_)
+        lanes_->resetPriorities();
 }
 
 } // namespace emissary::cache

@@ -129,10 +129,34 @@ struct HierarchyStats
     void reset() { *this = HierarchyStats{}; }
 };
 
+class PolicyLaneBank;
+
 /** The three-level hierarchy. */
 class Hierarchy
 {
   public:
+    /** Where a below-L1 miss is served from. */
+    enum class FillSource : std::uint8_t { L2, L3, Memory };
+
+    /** One outstanding below-L1 miss. Public so the monitor-lane
+     *  bank (cache/lanes.hh) can consume the completion context. */
+    struct Mshr
+    {
+        std::uint64_t readyCycle = 0;
+        FillSource source = FillSource::Memory;
+        bool isInstruction = false;
+        bool write = false;
+        bool starved = false;
+        bool iqEmpty = false;
+        std::uint32_t starveCycles = 0;
+        /** §5.6: latency was collapsed by the ideal-L2I model. */
+        bool idealHidden = false;
+        /** Packed per-monitor-lane fill sources (2 bits per lane:
+         *  0 = not sampled, 1 = L2, 2 = L3, 3 = memory). Stays 0
+         *  when no lane bank is attached. */
+        std::uint64_t laneSources = 0;
+    };
+
     struct Config
     {
         Cache::Config l1i;
@@ -222,22 +246,19 @@ class Hierarchy
     /** Outstanding-miss count (testing). */
     std::size_t outstanding() const { return mshr_.size(); }
 
+    /**
+     * Attach a monitor-lane bank (nullptr to detach): the bank's
+     * per-policy L2/L3 instances observe every below-L1 access and
+     * fill completion of this hierarchy. The bank must outlive the
+     * attachment. The timing path is unchanged — with no bank
+     * attached the fused hooks cost one pointer test on the miss
+     * path only.
+     */
+    void setLanes(PolicyLaneBank *lanes);
+    PolicyLaneBank *lanes() { return lanes_; }
+    const PolicyLaneBank *lanes() const { return lanes_; }
+
   private:
-    enum class FillSource : std::uint8_t { L2, L3, Memory };
-
-    struct Mshr
-    {
-        std::uint64_t readyCycle = 0;
-        FillSource source = FillSource::Memory;
-        bool isInstruction = false;
-        bool write = false;
-        bool starved = false;
-        bool iqEmpty = false;
-        std::uint32_t starveCycles = 0;
-        /** §5.6: latency was collapsed by the ideal-L2I model. */
-        bool idealHidden = false;
-    };
-
     /** Shared miss path after the L1 probe. */
     std::uint64_t missBelowL1(std::uint64_t line_addr,
                               std::uint64_t now, bool is_instruction,
@@ -271,6 +292,7 @@ class Hierarchy
     std::unordered_set<std::uint64_t> seenL2Inst_;
 
     HierarchyObserver *observer_ = nullptr;
+    PolicyLaneBank *lanes_ = nullptr;
     bool starvationMapEnabled_ = false;
     std::unordered_map<std::uint64_t, std::uint64_t> starvationByLine_;
     std::unordered_map<std::uint64_t, std::uint64_t> l2InstMissByLine_;

@@ -4,7 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
+
+#include "cache/lanes.hh"
 
 #include "core/simulator.hh"
 #include "stats/span_recorder.hh"
@@ -117,7 +120,151 @@ runOverSource(trace::TraceSource &source,
     return metrics;
 }
 
+/**
+ * Shared body of the fused-group overloads: lane 0 runs the timing
+ * Hierarchy, the rest observe as monitor lanes.
+ */
+std::vector<Metrics>
+groupOverSource(trace::TraceSource &source,
+                const std::vector<replacement::PolicySpec> &l2_specs,
+                const replacement::PolicySpec &l1i_spec,
+                const RunOptions &options,
+                std::vector<stats::Registry> *registries,
+                RunTelemetry *telemetry)
+{
+    if (l2_specs.empty())
+        throw std::invalid_argument("runPolicyGroup: no policies");
+
+    MachineOptions machine_options;
+    machine_options.l2Spec = l2_specs.front();
+    machine_options.l1iSpec = l1i_spec;
+    machine_options.l2Policy = l2_specs.front().toString();
+    machine_options.l1iPolicy = l1i_spec.toString();
+    machine_options.emissaryTreePlru = options.emissaryTreePlru;
+    machine_options.bypassLowPriorityInst =
+        options.bypassLowPriorityInst;
+    machine_options.fdip = options.fdip;
+    machine_options.nextLinePrefetch = options.nextLinePrefetch;
+    machine_options.idealL2Inst = options.idealL2Inst;
+    machine_options.seed = options.seed;
+
+    Simulator::Config sim_config;
+    sim_config.machine = alderlakeConfig(machine_options);
+    sim_config.warmupInstructions = options.warmupInstructions;
+    sim_config.measureInstructions = options.measureInstructions;
+    sim_config.priorityResetInstructions =
+        options.priorityResetInstructions;
+
+    // Monitor lanes for every spec past the first. The option knob
+    // alderlakeConfig applies to the timing spec must reach them the
+    // same way.
+    std::vector<replacement::PolicySpec> monitor_specs(
+        l2_specs.begin() + 1, l2_specs.end());
+    for (replacement::PolicySpec &spec : monitor_specs)
+        spec.emissaryTreePlru = options.emissaryTreePlru;
+    std::unique_ptr<cache::PolicyLaneBank> bank;
+    if (!monitor_specs.empty())
+        bank = std::make_unique<cache::PolicyLaneBank>(
+            sim_config.machine.hierarchy, monitor_specs,
+            options.sampledSets);
+
+    Simulator simulator(sim_config, source);
+    if (bank)
+        simulator.hierarchy().setLanes(bank.get());
+
+    const auto start = std::chrono::steady_clock::now();
+    auto measure_start = start;
+    if (telemetry)
+        simulator.setOnMeasureStart([&measure_start]() {
+            measure_start = std::chrono::steady_clock::now();
+        });
+
+    std::vector<Metrics> metrics;
+    metrics.reserve(l2_specs.size());
+    metrics.push_back(simulator.run());
+    for (unsigned lane = 0; lane + 1 < l2_specs.size(); ++lane)
+        metrics.push_back(simulator.collectLane(lane));
+    const auto stop = std::chrono::steady_clock::now();
+
+    if (registries) {
+        registries->clear();
+        registries->resize(l2_specs.size());
+        simulator.exportRegistry((*registries)[0]);
+        for (unsigned lane = 0; lane + 1 < l2_specs.size(); ++lane)
+            simulator.exportLaneRegistry(lane,
+                                         (*registries)[lane + 1]);
+    }
+
+    if (telemetry) {
+        const auto harvested = std::chrono::steady_clock::now();
+        telemetry->warmupSeconds =
+            std::chrono::duration<double>(measure_start - start)
+                .count();
+        telemetry->measureSeconds =
+            std::chrono::duration<double>(stop - measure_start)
+                .count();
+        telemetry->statExportSeconds =
+            std::chrono::duration<double>(harvested - stop).count();
+        if (stats::SpanRecorder *recorder = telemetry->spans) {
+            recorder->recordSpan("warmup", recorder->toNs(start),
+                                 recorder->toNs(measure_start));
+            recorder->recordSpan("measure",
+                                 recorder->toNs(measure_start),
+                                 recorder->toNs(stop));
+            recorder->recordSpan("stat_export", recorder->toNs(stop),
+                                 recorder->toNs(harvested));
+        }
+    }
+    return metrics;
+}
+
 } // namespace
+
+std::vector<Metrics>
+runPolicyGroup(std::shared_ptr<const trace::RecordBuffer> buffer,
+               const std::vector<replacement::PolicySpec> &l2_specs,
+               const replacement::PolicySpec &l1i_spec,
+               const RunOptions &options,
+               std::vector<stats::Registry> *registries,
+               RunTelemetry *telemetry)
+{
+    trace::ReplayCursor cursor(std::move(buffer));
+    std::vector<Metrics> metrics =
+        groupOverSource(cursor, l2_specs, l1i_spec, options,
+                        registries, telemetry);
+    for (Metrics &m : metrics)
+        m.codeFootprintLines = cursor.uniqueCodeLines();
+    return metrics;
+}
+
+std::vector<Metrics>
+runPolicyGroup(const trace::SyntheticProgram &program,
+               const std::vector<replacement::PolicySpec> &l2_specs,
+               const replacement::PolicySpec &l1i_spec,
+               const RunOptions &options,
+               std::vector<stats::Registry> *registries,
+               RunTelemetry *telemetry)
+{
+    trace::SyntheticExecutor executor(program);
+    std::vector<Metrics> metrics =
+        groupOverSource(executor, l2_specs, l1i_spec, options,
+                        registries, telemetry);
+    for (Metrics &m : metrics)
+        m.codeFootprintLines = executor.uniqueCodeLines();
+    return metrics;
+}
+
+std::vector<Metrics>
+runPolicyGroup(trace::TraceSource &source,
+               const std::vector<replacement::PolicySpec> &l2_specs,
+               const replacement::PolicySpec &l1i_spec,
+               const RunOptions &options,
+               std::vector<stats::Registry> *registries,
+               RunTelemetry *telemetry)
+{
+    return groupOverSource(source, l2_specs, l1i_spec, options,
+                           registries, telemetry);
+}
 
 Metrics
 runPolicy(const trace::SyntheticProgram &program,

@@ -48,6 +48,15 @@ struct RunOptions
     bool bypassLowPriorityInst = false;
     std::uint64_t priorityResetInstructions = 0;
     std::uint64_t seed = 0x5EEDULL;
+    /**
+     * Fast mode: monitor lanes of a fused runPolicyGroup model only
+     * 1 set in every @c sampledSets (a power of two; 0 or 1 = full
+     * fidelity), with counters scaled back by the sampling factor at
+     * collection. Ignored by the sequential runPolicy path and by
+     * the group's timing lane, which always runs full-size arrays.
+     * Measured error bounds: docs/performance.md.
+     */
+    unsigned sampledSets = 0;
 };
 
 /**
@@ -152,6 +161,50 @@ Metrics runPolicy(trace::TraceSource &source,
                   const RunOptions &options,
                   RunInstrumentation *instrumentation = nullptr,
                   RunTelemetry *telemetry = nullptr);
+
+/**
+ * Fused multi-policy pass: one trace replay drives every policy in
+ * @p l2_specs at once. The first spec is the *timing lane* — it runs
+ * the full Hierarchy and its Metrics are bit-identical to a
+ * sequential runPolicy of that spec (tests/test_fused.cpp). The
+ * remaining specs run as monitor lanes (cache/lanes.hh): per-policy
+ * L2+L3 arrays fed by the shared pipeline's access stream, so their
+ * cache counters match a sequential run up to the L2-latency
+ * feedback into fetch timing, and their cycle counts are first-order
+ * estimates (errors quantified by bench_fastmode_validation).
+ *
+ * With options.sampledSets = K > 1, monitor lanes keep only 1-in-K
+ * sets (the timing lane stays exact).
+ *
+ * @param registries When non-null, resized to l2_specs.size() and
+ *        filled with each lane's end-of-window counter registry.
+ * @return One Metrics per spec, in l2_specs order.
+ */
+std::vector<Metrics>
+runPolicyGroup(std::shared_ptr<const trace::RecordBuffer> buffer,
+               const std::vector<replacement::PolicySpec> &l2_specs,
+               const replacement::PolicySpec &l1i_spec,
+               const RunOptions &options,
+               std::vector<stats::Registry> *registries = nullptr,
+               RunTelemetry *telemetry = nullptr);
+
+/** Live-program variant of the fused pass. */
+std::vector<Metrics>
+runPolicyGroup(const trace::SyntheticProgram &program,
+               const std::vector<replacement::PolicySpec> &l2_specs,
+               const replacement::PolicySpec &l1i_spec,
+               const RunOptions &options,
+               std::vector<stats::Registry> *registries = nullptr,
+               RunTelemetry *telemetry = nullptr);
+
+/** Generic-source variant of the fused pass. */
+std::vector<Metrics>
+runPolicyGroup(trace::TraceSource &source,
+               const std::vector<replacement::PolicySpec> &l2_specs,
+               const replacement::PolicySpec &l1i_spec,
+               const RunOptions &options,
+               std::vector<stats::Registry> *registries = nullptr,
+               RunTelemetry *telemetry = nullptr);
 
 /** Speedup of @p test over @p base in percent (paper convention). */
 double speedupPercent(const Metrics &base, const Metrics &test);

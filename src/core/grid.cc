@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cache/lanes.hh"
 #include "core/buildinfo.hh"
 #include "core/observability.hh"
 #include "trace/file.hh"
@@ -97,7 +98,44 @@ recordsNeeded(const PolicyGrid &grid)
     return trace::RecordBuffer::recordsForWindow(window);
 }
 
+/**
+ * Two run specs may share one fused pass only when every knob that
+ * shapes the simulated machine or window agrees; the L2 policy is
+ * the one axis the lanes vary.
+ */
+bool
+sameRunKnobs(const RunOptions &a, const RunOptions &b)
+{
+    return a.warmupInstructions == b.warmupInstructions &&
+           a.measureInstructions == b.measureInstructions &&
+           a.fdip == b.fdip &&
+           a.nextLinePrefetch == b.nextLinePrefetch &&
+           a.idealL2Inst == b.idealL2Inst &&
+           a.emissaryTreePlru == b.emissaryTreePlru &&
+           a.l1iPolicy == b.l1iPolicy &&
+           a.bypassLowPriorityInst == b.bypassLowPriorityInst &&
+           a.priorityResetInstructions ==
+               b.priorityResetInstructions &&
+           a.seed == b.seed && a.sampledSets == b.sampledSets;
+}
+
 } // namespace
+
+const char *
+cellExecutionName(CellExecution execution)
+{
+    switch (execution) {
+      case CellExecution::Sequential:
+        return "sequential";
+      case CellExecution::FusedTiming:
+        return "fused_timing";
+      case CellExecution::FusedMonitor:
+        return "fused_monitor";
+      case CellExecution::FusedMonitorSampled:
+        return "fused_monitor_sampled";
+    }
+    return "unknown";
+}
 
 PolicyGrid
 PolicyGrid::sweep(std::vector<trace::WorkloadProfile> workloads,
@@ -196,12 +234,25 @@ GridTiming::cellWallHistogram() const
 }
 
 GridResults::GridResults(std::size_t workloads, std::size_t runs)
-    : cells_(workloads, std::vector<Metrics>(runs))
+    : cells_(workloads, std::vector<Metrics>(runs)),
+      execution_(workloads,
+                 std::vector<CellExecution>(
+                     runs, CellExecution::Sequential))
 {
     timing_.runSeconds.assign(workloads,
                               std::vector<double>(runs, 0.0));
     timing_.phaseSeconds.assign(
         workloads, std::vector<GridTiming::CellPhases>(runs));
+}
+
+bool
+GridResults::anyFused() const
+{
+    for (const auto &row : execution_)
+        for (const CellExecution execution : row)
+            if (execution != CellExecution::Sequential)
+                return true;
+    return false;
 }
 
 std::uint64_t
@@ -280,8 +331,26 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
         const std::function<void(std::size_t w, std::size_t r)>
             &progress, stats::SpanRecorder *recorder)
 {
+    return runGrid(grid, pool, GridOptions{}, progress, recorder);
+}
+
+GridResults
+runGrid(const PolicyGrid &grid, ThreadPool &pool,
+        const GridOptions &options,
+        const std::function<void(std::size_t w, std::size_t r)>
+            &progress, stats::SpanRecorder *recorder)
+{
     if (grid.workloads.empty() || grid.runs.empty())
         throw std::invalid_argument("runGrid: empty grid");
+
+    // Fused scheduling applies when every run of a row can share one
+    // machine; with heterogeneous run knobs the whole grid falls back
+    // to the per-cell engine (simplest correct rule — mixed grids are
+    // the ablation harnesses, which are not throughput-bound).
+    bool fusable = options.fused;
+    for (std::size_t r = 1; fusable && r < grid.runs.size(); ++r)
+        fusable = sameRunKnobs(grid.runs.front().options,
+                               grid.runs[r].options);
 
     // A disabled recorder behaves exactly like no recorder: all the
     // instrumentation below keys off this one pointer.
@@ -395,8 +464,141 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
     std::size_t completed_cells = 0;
     std::uint64_t completed_instructions = 0;
 
+    // Serialized completion bookkeeping shared by both engines.
+    const auto note_cell_done = [&](std::size_t w, std::size_t r,
+                                    std::uint64_t instructions) {
+        if (!progress && !recorder)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++completed_cells;
+        completed_instructions += instructions;
+        if (recorder) {
+            recorder->counter("cells_completed",
+                              static_cast<double>(completed_cells));
+            const double elapsed = secondsSince(wall_start);
+            recorder->counter(
+                "minst_per_sec",
+                elapsed > 0.0 ? static_cast<double>(
+                                    completed_instructions) /
+                                    elapsed / 1e6
+                              : 0.0);
+        }
+        if (progress)
+            progress(w, r);
+    };
+
     std::vector<std::future<void>> cells;
     cells.reserve(grid.cellCount());
+
+    if (fusable) {
+        // Fused engine: one trace pass per (workload, lane chunk).
+        // The chunk's first run is its timing lane; chunks past
+        // kMaxLanes get their own pass (and timing lane).
+        const std::size_t max_lanes = cache::PolicyLaneBank::kMaxLanes;
+        for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+            for (std::size_t base = 0; base < grid.runs.size();
+                 base += max_lanes) {
+                const std::size_t count = std::min(
+                    max_lanes, grid.runs.size() - base);
+                cells.push_back(pool.submit([&, w, base, count]() {
+                    const auto group_start =
+                        std::chrono::steady_clock::now();
+                    label_track();
+                    const GridWorkload &row = grid.workloads[w];
+                    stats::ScopedTimer span(recorder, "group");
+                    const std::vector<replacement::PolicySpec>
+                        group_specs(l2_specs.begin() + base,
+                                    l2_specs.begin() + base + count);
+                    RunOptions group_options =
+                        grid.runs[base].options;
+                    group_options.sampledSets = options.sampledSets;
+                    RunTelemetry telemetry;
+                    telemetry.spans = recorder;
+                    std::vector<Metrics> metrics;
+                    if (buffers[w]) {
+                        metrics = runPolicyGroup(
+                            buffers[w], group_specs, l1i_specs[base],
+                            group_options, nullptr, &telemetry);
+                    } else if (row.traceBacked()) {
+                        auto source = openTraceSource(row);
+                        metrics = runPolicyGroup(
+                            *source, group_specs, l1i_specs[base],
+                            group_options, nullptr, &telemetry);
+                    } else {
+                        metrics = runPolicyGroup(
+                            *programs[w], group_specs,
+                            l1i_specs[base], group_options, nullptr,
+                            &telemetry);
+                    }
+                    const double group_seconds =
+                        secondsSince(group_start);
+                    // One pass produced every lane's cell: wall and
+                    // phase time split evenly so row/phase totals
+                    // still sum to real wall clock.
+                    const double share =
+                        group_seconds / static_cast<double>(count);
+                    const GridTiming::CellPhases phase_share = {
+                        telemetry.warmupSeconds /
+                            static_cast<double>(count),
+                        telemetry.measureSeconds /
+                            static_cast<double>(count),
+                        telemetry.statExportSeconds /
+                            static_cast<double>(count)};
+                    std::uint64_t group_instructions = 0;
+                    for (std::size_t lane = 0; lane < count; ++lane) {
+                        const std::size_t r = base + lane;
+                        Metrics &m = metrics[lane];
+                        m.benchmark = row.name;
+                        if (row.traceBacked())
+                            m.codeFootprintLines = footprints[w];
+                        group_instructions += m.instructions;
+                        results.cells_[w][r] = std::move(m);
+                        results.timing_.runSeconds[w][r] = share;
+                        results.timing_.phaseSeconds[w][r] =
+                            phase_share;
+                        results.execution_[w][r] =
+                            lane == 0
+                                ? CellExecution::FusedTiming
+                                : (options.sampledSets > 1
+                                       ? CellExecution::
+                                             FusedMonitorSampled
+                                       : CellExecution::FusedMonitor);
+                    }
+                    if (span.active()) {
+                        span.arg("workload",
+                                 stats::JsonValue(row.name));
+                        span.arg("lanes",
+                                 stats::JsonValue(
+                                     static_cast<std::uint64_t>(
+                                         count)));
+                        span.arg("cell",
+                                 stats::JsonValue(
+                                     static_cast<std::uint64_t>(
+                                         w * grid.runs.size() +
+                                         base)));
+                        span.arg("policy",
+                                 stats::JsonValue(
+                                     grid.runs[base].l2Policy));
+                        span.arg("instructions",
+                                 stats::JsonValue(group_instructions));
+                        span.arg(
+                            "minst_per_sec",
+                            stats::JsonValue(
+                                group_seconds > 0.0
+                                    ? static_cast<double>(
+                                          group_instructions) /
+                                          group_seconds / 1e6
+                                    : 0.0));
+                    }
+                    for (std::size_t lane = 0; lane < count; ++lane)
+                        note_cell_done(
+                            w, base + lane,
+                            results.cells_[w][base + lane]
+                                .instructions);
+                }));
+            }
+        }
+    } else
     for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
         for (std::size_t r = 0; r < grid.runs.size(); ++r) {
             cells.push_back(pool.submit([&, w, r]() {
@@ -452,6 +654,13 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
                     span.arg("workload", stats::JsonValue(row.name));
                     span.arg("policy", stats::JsonValue(
                                            grid.runs[r].l2Policy));
+                    // Grid-cell index: policy labels repeat across
+                    // rows (and fused group slices cover several
+                    // cells), so slices stay distinguishable.
+                    span.arg("cell",
+                             stats::JsonValue(
+                                 static_cast<std::uint64_t>(
+                                     w * grid.runs.size() + r)));
                     span.arg("instructions",
                              stats::JsonValue(cell_instructions));
                     span.arg("minst_per_sec",
@@ -462,27 +671,7 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
                                            cell_seconds / 1e6
                                      : 0.0));
                 }
-                if (progress || recorder) {
-                    std::lock_guard<std::mutex> lock(progress_mutex);
-                    ++completed_cells;
-                    completed_instructions += cell_instructions;
-                    if (recorder) {
-                        recorder->counter(
-                            "cells_completed",
-                            static_cast<double>(completed_cells));
-                        const double elapsed =
-                            secondsSince(wall_start);
-                        recorder->counter(
-                            "minst_per_sec",
-                            elapsed > 0.0
-                                ? static_cast<double>(
-                                      completed_instructions) /
-                                      elapsed / 1e6
-                                : 0.0);
-                    }
-                    if (progress)
-                        progress(w, r);
-                }
+                note_cell_done(w, r, cell_instructions);
             }));
         }
     }
@@ -512,6 +701,13 @@ runGrid(const PolicyGrid &grid)
     return runGrid(grid, pool);
 }
 
+GridResults
+runGrid(const PolicyGrid &grid, const GridOptions &options)
+{
+    ThreadPool pool;
+    return runGrid(grid, pool, options);
+}
+
 stats::JsonValue
 sweepJson(const PolicyGrid &grid, const GridResults &results)
 {
@@ -524,6 +720,8 @@ sweepJson(const PolicyGrid &grid, const GridResults &results)
                 grid.workloads.size())));
     doc.set("policies", JsonValue(static_cast<std::uint64_t>(
                             grid.runs.size())));
+    doc.set("mode", JsonValue(results.anyFused() ? "fused"
+                                                 : "sequential"));
 
     JsonValue runs = JsonValue::array();
     for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
@@ -566,6 +764,9 @@ sweepJson(const PolicyGrid &grid, const GridResults &results)
             manifest.set("seed", JsonValue(opts.seed));
             manifest.set("config", runOptionsJson(opts));
 
+            manifest.set("execution",
+                         JsonValue(cellExecutionName(
+                             results.executionAt(w, r))));
             manifest.set("wall_seconds",
                          JsonValue(results.timing().runSeconds[w][r]));
             manifest.set("metrics", results.at(w, r).toJson());

@@ -126,6 +126,37 @@ struct PolicyGrid
     }
 };
 
+/** Scheduling knobs for one runGrid call. */
+struct GridOptions
+{
+    /**
+     * Fused scheduling: the cells of one workload row run as a
+     * single trace pass (core::runPolicyGroup) instead of one pass
+     * per cell — the row's first run is the group's timing lane, the
+     * rest are monitor lanes. Rows whose runs disagree on any run
+     * knob (window, seed, FDIP, ...) fall back to per-cell
+     * scheduling; rows wider than PolicyLaneBank::kMaxLanes split
+     * into chunks, each with its own timing lane.
+     */
+    bool fused = false;
+    /** Fast mode: 1-in-K set sampling for the monitor lanes of
+     *  fused groups (0 or 1 = full fidelity monitors). */
+    unsigned sampledSets = 0;
+};
+
+/** How one grid cell's Metrics were produced. */
+enum class CellExecution : std::uint8_t
+{
+    Sequential,          ///< Own full simulation (reference oracle).
+    FusedTiming,         ///< Timing lane of a fused group
+                         ///< (bit-identical to Sequential).
+    FusedMonitor,        ///< Full-size monitor lane.
+    FusedMonitorSampled, ///< Sampled-set monitor lane.
+};
+
+/** The execution mode's name as stored in the sweep JSON. */
+const char *cellExecutionName(CellExecution execution);
+
 /** Wall-clock accounting for one runGrid call. */
 struct GridTiming
 {
@@ -187,6 +218,16 @@ class GridResults
 
     const GridTiming &timing() const { return timing_; }
 
+    /** Execution provenance of cell (@p w, @p r). */
+    CellExecution
+    executionAt(std::size_t w, std::size_t r) const
+    {
+        return execution_[w][r];
+    }
+
+    /** True when any cell ran inside a fused group. */
+    bool anyFused() const;
+
     /** Committed (measured-window) instructions summed over every
      *  cell of the grid. */
     std::uint64_t totalInstructions() const;
@@ -210,11 +251,12 @@ class GridResults
 
   private:
     friend GridResults runGrid(
-        const PolicyGrid &, ThreadPool &,
+        const PolicyGrid &, ThreadPool &, const GridOptions &,
         const std::function<void(std::size_t, std::size_t)> &,
         stats::SpanRecorder *);
 
     std::vector<std::vector<Metrics>> cells_;
+    std::vector<std::vector<CellExecution>> execution_;
     GridTiming timing_;
 };
 
@@ -244,8 +286,27 @@ GridResults runGrid(
         &progress = {},
     stats::SpanRecorder *recorder = nullptr);
 
+/**
+ * Scheduling-mode variant: with options.fused, same-workload cells
+ * run as fused policy groups ("group" slices in the flight recorder,
+ * with a "lanes" arg); each cell's provenance lands in
+ * GridResults::executionAt and the sweep JSON. The timing lane of
+ * every group is bit-identical to the sequential engine; monitor
+ * lanes carry the fused approximation (see core::runPolicyGroup).
+ */
+GridResults runGrid(
+    const PolicyGrid &grid, ThreadPool &pool,
+    const GridOptions &options,
+    const std::function<void(std::size_t w, std::size_t r)>
+        &progress = {},
+    stats::SpanRecorder *recorder = nullptr);
+
 /** Convenience overload: a private pool of defaultWorkerCount(). */
 GridResults runGrid(const PolicyGrid &grid);
+
+/** Convenience overload with scheduling options. */
+GridResults runGrid(const PolicyGrid &grid,
+                    const GridOptions &options);
 
 /**
  * The whole sweep as one JSON document ("emissary.sweep.v1"): a

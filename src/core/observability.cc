@@ -37,6 +37,9 @@ runOptionsJson(const RunOptions &options)
                JsonValue(options.bypassLowPriorityInst));
     config.set("priority_reset_instructions",
                JsonValue(options.priorityResetInstructions));
+    config.set("sampled_sets",
+               JsonValue(static_cast<std::uint64_t>(
+                   options.sampledSets)));
     return config;
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cache/lanes.hh"
 #include "core/observability.hh"
 
 namespace emissary::core
@@ -124,6 +125,8 @@ Simulator::resetWindowStats()
     hierarchy_.stats().reset();
     backend_.stats().reset();
     frontend_.stats().reset();
+    if (cache::PolicyLaneBank *lanes = hierarchy_.lanes())
+        lanes->resetStats();
 }
 
 Metrics
@@ -188,6 +191,91 @@ Simulator::collect(std::uint64_t window_cycles) const
 }
 
 Metrics
+Simulator::collectLane(unsigned lane) const
+{
+    const cache::PolicyLaneBank *lanes = hierarchy_.lanes();
+    if (!lanes || lane >= lanes->laneCount())
+        throw std::invalid_argument("collectLane: no such lane");
+
+    const cache::HierarchyStats hs =
+        lanes->laneStats(lane, hierarchy_.stats());
+    const auto &bs = backend_.stats();
+    const auto &fs = frontend_.stats();
+
+    Metrics m;
+    m.benchmark = source_.name();
+    m.policy = lanes->l2(lane).policy().name();
+    m.instructions = bs.committed;
+
+    // The lane's window length: the shared window adjusted by the
+    // lane's first-order per-miss latency delta.
+    const std::int64_t cycles =
+        static_cast<std::int64_t>(lastWindowCycles_) +
+        lanes->cycleDelta(lane);
+    m.cycles = cycles > 0 ? static_cast<std::uint64_t>(cycles)
+                          : lastWindowCycles_;
+
+    const double ki = static_cast<double>(m.instructions) / 1000.0;
+    const double safe_ki = ki > 0.0 ? ki : 1.0;
+
+    m.ipc = m.cycles > 0 ? static_cast<double>(m.instructions) /
+                               static_cast<double>(m.cycles)
+                         : 0.0;
+
+    m.l1iMpki = static_cast<double>(hs.l1iMisses) / safe_ki;
+    m.l1dMpki = static_cast<double>(hs.l1dMisses) / safe_ki;
+    m.l2InstMpki = static_cast<double>(hs.l2InstMisses) / safe_ki;
+    m.l2DataMpki = static_cast<double>(hs.l2DataMisses) / safe_ki;
+    m.l3Mpki = static_cast<double>(hs.l3Misses) / safe_ki;
+
+    m.starvationCycles = lanes->estStarvationCycles(lane);
+    m.starvationIqEmptyCycles =
+        lanes->estStarvationIqEmptyCycles(lane);
+    m.feStallCycles = bs.feStallCycles;
+    m.beStallCycles = bs.beStallCycles;
+    m.totalStallCycles = bs.feStallCycles + bs.beStallCycles;
+
+    m.decodeRate =
+        bs.decodeActiveCycles > 0
+            ? static_cast<double>(bs.issued) /
+                  static_cast<double>(bs.decodeActiveCycles)
+            : 0.0;
+    m.issueRate = m.ipc;
+
+    m.condMispredictsPerKi =
+        static_cast<double>(fs.condMispredicts) / safe_ki;
+    m.btbMissesPerKi = static_cast<double>(fs.btbMisses) / safe_ki;
+
+    const bool emissary_bits =
+        lanes->spec(lane).family ==
+        replacement::PolicyFamily::EmissaryP;
+    m.energy = energy::computeEnergy(hs, m.cycles, m.instructions,
+                                     emissary_bits);
+
+    const auto hist = lanes->l2(lane).priorityDistribution();
+    m.priorityDistribution.resize(hist.domain());
+    for (std::size_t i = 0; i < hist.domain(); ++i)
+        m.priorityDistribution[i] = hist.fraction(i);
+    m.highPriorityFills = hs.highPriorityFills;
+    m.priorityUpgrades = hs.priorityUpgrades;
+
+    return m;
+}
+
+void
+Simulator::exportLaneRegistry(unsigned lane,
+                              stats::Registry &registry) const
+{
+    const cache::PolicyLaneBank *lanes = hierarchy_.lanes();
+    if (!lanes || lane >= lanes->laneCount())
+        throw std::invalid_argument("exportLaneRegistry: no such lane");
+    const cache::HierarchyStats hs =
+        lanes->laneStats(lane, hierarchy_.stats());
+    populateRegistry(registry, hs, backend_.stats(),
+                     frontend_.stats());
+}
+
+Metrics
 Simulator::run()
 {
     const std::uint64_t warmup = config_.warmupInstructions;
@@ -233,7 +321,8 @@ Simulator::run()
     if (traceSink_ != nullptr)
         traceSink_->flush();
 
-    return collect(now_ - measure_start);
+    lastWindowCycles_ = now_ - measure_start;
+    return collect(lastWindowCycles_);
 }
 
 } // namespace emissary::core

@@ -82,6 +82,21 @@ class Simulator
      *  under their dotted names (core/observability.hh). */
     void exportRegistry(stats::Registry &registry) const;
 
+    /**
+     * Metrics of one monitor lane of the attached PolicyLaneBank
+     * (fused multi-policy sweep): the shared pipeline's numbers with
+     * the policy-dependent cache counters replaced by the lane's
+     * own, cycles adjusted by the lane's first-order delta, and
+     * starvation taken from the lane estimators. Valid after run();
+     * requires a bank attached via hierarchy().setLanes().
+     */
+    Metrics collectLane(unsigned lane) const;
+
+    /** Lane variant of exportRegistry: hierarchy counters come from
+     *  the lane's view, pipeline counters from the shared run. */
+    void exportLaneRegistry(unsigned lane,
+                            stats::Registry &registry) const;
+
     cache::Hierarchy &hierarchy() { return hierarchy_; }
     frontend::FrontEnd &frontEnd() { return frontend_; }
     backend::Backend &backend() { return backend_; }
@@ -121,6 +136,9 @@ class Simulator
     std::deque<DynInst> decodeQueue_;
     std::uint64_t now_ = 0;
     std::uint64_t lastPriorityReset_ = 0;
+    /** Cycles of the last completed measurement window (the base of
+     *  collectLane's per-lane cycle adjustment). */
+    std::uint64_t lastWindowCycles_ = 0;
     std::function<void()> onMeasureStart_;
     stats::Sampler sampler_;
     stats::TraceSink *traceSink_ = nullptr;

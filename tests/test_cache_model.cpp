@@ -210,5 +210,63 @@ TEST(CacheModel, GenericDispatchMatchesReferenceModel)
     stressPolicy("M:R(1/32)", 0x7E5AULL);
 }
 
+/**
+ * The vectorized tag compare must agree with the portable scalar
+ * reference on every lane shape the cache can produce: all
+ * associativities 1..24 (covering remainders around the 2/4-lane
+ * vector widths), hit at every way position, miss, and unaligned
+ * lane bases. Runs under ASan in CI, which additionally proves the
+ * vector loads never read past the lane.
+ */
+TEST(CacheModel, VectorFindWayMatchesScalar)
+{
+    constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+    Rng rng(0x51D0ULL);
+
+    // Backing store larger than any lane so the test can probe
+    // unaligned starting offsets within it.
+    std::vector<std::uint64_t> store(64 + 3);
+
+    for (unsigned ways = 1; ways <= 24; ++ways) {
+        for (unsigned offset = 0; offset < 3; ++offset) {
+            std::uint64_t *tags = store.data() + offset;
+
+            // Deterministic sweep: hit at each way, with the other
+            // ways a mix of distinct tags and invalid markers.
+            for (unsigned hit = 0; hit < ways; ++hit) {
+                for (unsigned w = 0; w < ways; ++w)
+                    tags[w] = (w % 3 == 0) ? kInvalid
+                                           : (0x1000ULL + w);
+                const std::uint64_t probe = 0x9999ULL;
+                tags[hit] = probe;
+                ASSERT_EQ(Cache::findWayVector(tags, ways, probe),
+                          Cache::findWayScalar(tags, ways, probe))
+                    << "ways " << ways << " hit " << hit;
+                ASSERT_EQ(Cache::findWayScalar(tags, ways, probe),
+                          static_cast<int>(hit));
+                // And a guaranteed miss on the same lane.
+                ASSERT_EQ(
+                    Cache::findWayVector(tags, ways, 0x8888ULL),
+                    Cache::findWayScalar(tags, ways, 0x8888ULL));
+                ASSERT_EQ(
+                    Cache::findWayScalar(tags, ways, 0x8888ULL), -1);
+            }
+
+            // Randomized lanes, including duplicate tags: both
+            // implementations must return the same (first) match.
+            for (int trial = 0; trial < 2'000; ++trial) {
+                for (unsigned w = 0; w < ways; ++w)
+                    tags[w] = rng.nextBelow(8) == 0
+                                  ? kInvalid
+                                  : rng.nextBelow(ways + 4);
+                const std::uint64_t probe = rng.nextBelow(ways + 4);
+                ASSERT_EQ(Cache::findWayVector(tags, ways, probe),
+                          Cache::findWayScalar(tags, ways, probe))
+                    << "ways " << ways << " trial " << trial;
+            }
+        }
+    }
+}
+
 } // namespace
 } // namespace emissary::cache

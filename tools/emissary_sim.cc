@@ -97,6 +97,15 @@ usage(const char *argv0)
         "                       first is the speedup baseline\n"
         "  --jobs N             sweep worker threads (default:\n"
         "                       EMISSARY_JOBS or all cores)\n"
+        "  --fused              sweep: one trace pass per workload\n"
+        "                       drives all policies at once (first\n"
+        "                       policy is the exact timing lane, the\n"
+        "                       rest are monitor lanes)\n"
+        "  --fast-mode          sweep: --fused with 1-in-8 sampled-\n"
+        "                       set monitor lanes (error bounds:\n"
+        "                       docs/performance.md)\n"
+        "  --sampled-sets K     sampling factor for --fast-mode\n"
+        "                       (power of two; implies --fused)\n"
         "  --l1i-policy SPEC    L1I policy (ablation; default "
         "TPLRU)\n"
         "  --instructions N     measured window (default 1500000)\n"
@@ -271,6 +280,9 @@ main(int argc, char **argv)
     std::uint64_t warmup = 0;
     std::uint64_t reset = 0;
     std::uint64_t jobs = 0;
+    bool fused = false;
+    bool fast_mode = false;
+    std::uint64_t sampled_sets = 0;
     bool csv = false;
     bool progress = false;
     std::string stats_json_path;
@@ -309,6 +321,12 @@ main(int argc, char **argv)
             policies_csv = value();
         } else if (arg == "--jobs") {
             jobs = parseU64(arg, value());
+        } else if (arg == "--fused") {
+            fused = true;
+        } else if (arg == "--fast-mode") {
+            fast_mode = true;
+        } else if (arg == "--sampled-sets") {
+            sampled_sets = parseU64(arg, value());
         } else if (arg == "--l1i-policy") {
             machine_options.l1iPolicy = value();
         } else if (arg == "--instructions") {
@@ -458,8 +476,14 @@ main(int argc, char **argv)
                     meter.tick();
                 };
 
-            const core::GridResults results =
-                core::runGrid(grid, pool, on_cell, flight.get());
+            core::GridOptions grid_options;
+            grid_options.fused =
+                fused || fast_mode || sampled_sets > 1;
+            grid_options.sampledSets = static_cast<unsigned>(
+                sampled_sets > 0 ? sampled_sets
+                                 : (fast_mode ? 8 : 0));
+            const core::GridResults results = core::runGrid(
+                grid, pool, grid_options, on_cell, flight.get());
             if (flight)
                 stats::ChromeTraceWriter::write(perf_trace_path,
                                                 *flight);
