@@ -12,8 +12,14 @@
 #      container, verify its CRCs, prove that verify *fails* on a
 #      flipped byte, import the committed ChampSim fixture, and run
 #      a 2x2 catalog sweep whose JSON must parse
-#   5. AddressSanitizer build + full test suite
-#   6. ThreadSanitizer build + the "threaded" test label
+#   5. Service smoke: start the emissary_serve daemon, run a mixed
+#      synthetic + packed-trace catalog sweep twice (the second must
+#      be served >= 90% from the content-addressed result cache),
+#      validate every reply with json_check, prove malformed input
+#      comes back as a structured error, and check a clean SIGTERM
+#      shutdown
+#   6. AddressSanitizer build + full test suite
+#   7. ThreadSanitizer build + the "threaded" test label
 #
 # An optional "lto" stage rebuilds Release with EMISSARY_LTO=ON and
 # reruns the suite (the GitHub workflow runs it as its own job).
@@ -23,7 +29,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${CI_JOBS:-$(nproc)}"
-STAGES="${*:-release smoke throughput tracepack asan tsan}"
+STAGES="${*:-release smoke throughput tracepack service asan tsan}"
 
 run_stage() { echo; echo "=== ci: $* ==="; }
 
@@ -173,6 +179,76 @@ EOF
             schema runs
         rm -rf "$out"
         echo "trace_pack smoke OK"
+        ;;
+    service)
+        run_stage "sweep service smoke"
+        serve=build-ci-release/tools/emissary_serve
+        client=build-ci-release/tools/emissary_client
+        [ -x "$serve" ] && [ -x "$client" ] ||
+            { echo "run the release stage first" >&2; exit 1; }
+        out="$(mktemp -d)"
+        # A mixed catalog: one live synthetic workload plus a packed
+        # trace, swept under two policies.
+        build-ci-release/tools/trace_pack pack "$out/tomcat.emtc" \
+            --benchmark tomcat --records 100000 >/dev/null
+        cat >"$out/request.json" <<EOF
+{"schema": "emissary.request.v1", "op": "sweep", "id": "ci-sweep",
+ "catalog": {"schema": "emissary.catalog.v1",
+   "workloads": [
+     {"name": "kafka", "synthetic": {"profile": "kafka"}},
+     {"name": "tomcat.packed",
+      "trace": {"path": "$out/tomcat.emtc"}}]},
+ "policies": ["TPLRU", "EMISSARY"],
+ "config": {"warmup_instructions": 50000,
+            "measure_instructions": 200000}}
+EOF
+        "$serve" --port 0 --port-file "$out/port" \
+            --cache-dir "$out/cache" >"$out/serve.log" &
+        serve_pid=$!
+        for _ in $(seq 100); do
+            [ -s "$out/port" ] && break
+            sleep 0.1
+        done
+        [ -s "$out/port" ] ||
+            { echo "daemon did not start" >&2; exit 1; }
+        "$client" --port-file "$out/port" --ping >/dev/null
+        # Cold sweep: every cell simulated and stored.
+        "$client" --port-file "$out/port" \
+            --request "$out/request.json" >"$out/reply_cold.json"
+        build-ci-release/tools/json_check "$out/reply_cold.json" \
+            schema cache.misses sweep.runs \
+            sweep.provenance.git_sha
+        # Warm sweep: the same request must be served >= 90% from
+        # the content-addressed cache (here: 100%).
+        "$client" --port-file "$out/port" \
+            --request "$out/request.json" \
+            --min-cached-fraction 0.9 >"$out/reply_warm.json"
+        build-ci-release/tools/json_check "$out/reply_warm.json" \
+            schema cache.hits
+        # Malformed input: a structured emissary.error.v1 reply
+        # (client exit 2), daemon stays up.
+        printf 'not json' >"$out/bad.json"
+        rc=0
+        "$client" --port-file "$out/port" --request "$out/bad.json" \
+            --raw >"$out/reply_error.json" || rc=$?
+        [ "$rc" -eq 2 ] ||
+            { echo "malformed request not rejected (rc=$rc)" >&2
+              exit 1; }
+        build-ci-release/tools/json_check "$out/reply_error.json" \
+            schema field error
+        "$client" --port-file "$out/port" --stats >"$out/stats.json"
+        build-ci-release/tools/json_check "$out/stats.json" \
+            jobs_completed bad_requests queue_depth \
+            latency.p99_ms cache.hits
+        # Clean SIGTERM shutdown: in-flight work drained, exit 0.
+        kill -TERM "$serve_pid"
+        wait "$serve_pid" ||
+            { echo "daemon exited nonzero on SIGTERM" >&2; exit 1; }
+        grep -q "emissary_serve: stopped" "$out/serve.log" ||
+            { echo "daemon did not report a clean stop" >&2
+              exit 1; }
+        rm -rf "$out"
+        echo "service smoke OK"
         ;;
     lto)
         run_stage "Release + LTO build + tests"

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Cold-vs-warm load test of the emissary_serve sweep daemon over the
+# Fig. 5 grid (docs/service.md): the 12 datacenter workloads the
+# paper sweeps (tpcc omitted, as in Fig. 5) x the 13 default fig5
+# policies = 156 grid cells per request.
+#
+#   1. start a fresh daemon with an empty --cache-dir
+#   2. one cold request populates the content-addressed cache
+#      (every cell simulated)
+#   3. a concurrent warm run replays the same request; every cell is
+#      served from cache, and the run fails unless >= 99% of cells
+#      were cached
+#   4. both summary lines are appended to results/service_loadtest.txt
+#      and the warm/cold throughput ratio is checked against the
+#      10x acceptance floor
+#
+# Usage: ./scripts/service_loadtest.sh [BUILD_DIR] [OUT_FILE]
+#        (defaults: build, results/service_loadtest.txt)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+out="${2:-results/service_loadtest.txt}"
+serve="$build/tools/emissary_serve"
+client="$build/tools/emissary_client"
+for tool in "$serve" "$client"; do
+    [ -x "$tool" ] || {
+        echo "$tool not built (cmake --build $build)" >&2
+        exit 1
+    }
+done
+
+work="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+# --- the Fig. 5 request ------------------------------------------
+workloads="specjbb xapian finagle-http finagle-chirper tomcat kafka
+           wikipedia media-stream web-search data-serving verilator
+           speedometer2.0"
+policies='"TPLRU", "M:0", "M:R(1/32)", "M:S&E", "M:S&E&R(1/32)"'
+for n in 2 6 10 14; do
+    policies="$policies, \"P($n):S&E\", \"P($n):S&E&R(1/32)\""
+done
+rows=""
+for name in $workloads; do
+    rows="$rows{\"name\": \"$name\", \"synthetic\": {\"profile\": \"$name\"}}, "
+done
+rows="${rows%, }"
+cat >"$work/fig5.json" <<EOF
+{"schema": "emissary.request.v1",
+ "op": "sweep",
+ "id": "fig5-loadtest",
+ "catalog": {"schema": "emissary.catalog.v1", "workloads": [$rows]},
+ "policies": [$policies],
+ "config": {"warmup_instructions": 200000,
+            "measure_instructions": 1000000}}
+EOF
+
+# --- daemon up ----------------------------------------------------
+"$serve" --port 0 --port-file "$work/port" \
+    --cache-dir "$work/cache" >"$work/serve.log" &
+serve_pid=$!
+for _ in $(seq 100); do
+    [ -s "$work/port" ] && break
+    sleep 0.1
+done
+[ -s "$work/port" ] || { echo "daemon did not start" >&2; exit 1; }
+
+# --- cold, then warm ---------------------------------------------
+"$client" --port-file "$work/port" --request "$work/fig5.json" \
+    --load-test 1 --label fig5-cold --out "$out"
+"$client" --port-file "$work/port" --request "$work/fig5.json" \
+    --load-test 20 --concurrency 4 --label fig5-warm --out "$out" \
+    --min-cached-fraction 0.99
+
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+
+# --- the 10x acceptance floor ------------------------------------
+awk '
+    /label=fig5-cold/ { for (i = 1; i <= NF; i++)
+        if ($i ~ /^req_per_s=/) { sub("req_per_s=", "", $i); cold = $i } }
+    /label=fig5-warm/ { for (i = 1; i <= NF; i++)
+        if ($i ~ /^req_per_s=/) { sub("req_per_s=", "", $i); warm = $i } }
+    END {
+        if (cold + 0 == 0) { print "no cold line found"; exit 1 }
+        ratio = warm / cold
+        printf "warm/cold throughput ratio: %.1fx\n", ratio
+        if (ratio < 10) { print "below the 10x floor"; exit 1 }
+    }' "$out"
+echo "service load test OK ($out)"

@@ -206,6 +206,16 @@ runPolicyGroup(trace::TraceSource &source,
                std::vector<stats::Registry> *registries = nullptr,
                RunTelemetry *telemetry = nullptr);
 
+/**
+ * Every RunOptions field as one canonical compact-JSON string, the
+ * machine-config component of a grid cell's cache identity
+ * (core::cellCacheCanonical). Unlike the manifest "config" object
+ * this includes the seed, and its layout is append-only: adding a
+ * RunOptions field must extend this string, otherwise two configs
+ * that differ in the new knob would collide in the result cache.
+ */
+std::string canonicalRunOptions(const RunOptions &options);
+
 /** Speedup of @p test over @p base in percent (paper convention). */
 double speedupPercent(const Metrics &base, const Metrics &test);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <fstream>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -13,6 +14,8 @@
 #include "trace/file.hh"
 #include "trace/program.hh"
 #include "trace/replay.hh"
+#include "util/crc32.hh"
+#include "util/hash.hh"
 #include "util/strutil.hh"
 #include "workload/emtc.hh"
 
@@ -119,7 +122,144 @@ sameRunKnobs(const RunOptions &a, const RunOptions &b)
            a.seed == b.seed && a.sampledSets == b.sampledSets;
 }
 
+/** CRC-32 of a whole file, streamed in 64 KiB chunks — the content
+ *  identity of raw EMTR traces, which carry no per-block digests. */
+std::uint32_t
+fileCrc32(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error(
+            "cellCacheCanonical: cannot open trace '" + path + "'");
+    std::uint32_t crc = 0;
+    char chunk[64 * 1024];
+    while (in.read(chunk, sizeof(chunk)).gcount() > 0)
+        crc = emissary::crc32(crc, chunk,
+                              static_cast<std::size_t>(in.gcount()));
+    return crc;
+}
+
 } // namespace
+
+std::string
+cellCacheCanonical(const GridWorkload &workload, const RunSpec &run,
+                   const std::string &timing_policy,
+                   unsigned sampled_sets,
+                   const std::string &build_sha)
+{
+    using stats::JsonValue;
+
+    JsonValue identity = JsonValue::object();
+    identity.set("schema", JsonValue("emissary.cellkey.v1"));
+
+    // Workload content, never its display name: renaming a workload
+    // must not change its cached result.
+    JsonValue source = JsonValue::object();
+    if (workload.traceBacked()) {
+        if (isPackedTrace(workload.tracePath)) {
+            // The index CRC transitively digests every block's own
+            // CRC, so these header fields identify the full payload
+            // without decoding it.
+            const auto info = readTraceInfo(workload.tracePath);
+            source.set("type", JsonValue("emtc"));
+            source.set("records", JsonValue(info.recordCount));
+            source.set("records_per_block",
+                       JsonValue(static_cast<std::uint64_t>(
+                           info.recordsPerBlock)));
+            source.set("blocks",
+                       JsonValue(static_cast<std::uint64_t>(
+                           info.blockCount)));
+            source.set("unique_code_lines",
+                       JsonValue(info.uniqueCodeLines));
+            source.set("file_bytes", JsonValue(info.fileBytes));
+            source.set("index_crc",
+                       JsonValue(static_cast<std::uint64_t>(
+                           info.indexCrc)));
+        } else {
+            source.set("type", JsonValue("emtr"));
+            source.set("file_crc",
+                       JsonValue(static_cast<std::uint64_t>(
+                           fileCrc32(workload.tracePath))));
+        }
+        source.set("skip_records", JsonValue(workload.skipRecords));
+        source.set("max_records", JsonValue(workload.maxRecords));
+    } else {
+        // Every generator parameter, seed included; together they
+        // determine the synthetic stream bit-exactly.
+        const trace::WorkloadProfile &p = workload.profile;
+        source.set("type", JsonValue("synthetic"));
+        source.set("code_footprint_bytes",
+                   JsonValue(p.codeFootprintBytes));
+        source.set("transaction_types",
+                   JsonValue(static_cast<std::uint64_t>(
+                       p.transactionTypes)));
+        source.set("transaction_skew", JsonValue(p.transactionSkew));
+        source.set("burst_repeat_probability",
+                   JsonValue(p.burstRepeatProbability));
+        source.set("burst_window",
+                   JsonValue(static_cast<std::uint64_t>(
+                       p.burstWindow)));
+        source.set("function_skew", JsonValue(p.functionSkew));
+        source.set("functions_per_transaction",
+                   JsonValue(static_cast<std::uint64_t>(
+                       p.functionsPerTransaction)));
+        source.set("mean_block_instrs",
+                   JsonValue(static_cast<std::uint64_t>(
+                       p.meanBlockInstrs)));
+        source.set("mean_blocks_per_function",
+                   JsonValue(static_cast<std::uint64_t>(
+                       p.meanBlocksPerFunction)));
+        source.set("loop_fraction", JsonValue(p.loopFraction));
+        source.set("mean_trip_count", JsonValue(p.meanTripCount));
+        source.set("hard_branch_fraction",
+                   JsonValue(p.hardBranchFraction));
+        source.set("load_fraction", JsonValue(p.loadFraction));
+        source.set("store_fraction", JsonValue(p.storeFraction));
+        source.set("hot_data_bytes", JsonValue(p.hotDataBytes));
+        source.set("hot_data_skew", JsonValue(p.hotDataSkew));
+        source.set("cold_access_fraction",
+                   JsonValue(p.coldAccessFraction));
+        source.set("data_footprint_bytes",
+                   JsonValue(p.dataFootprintBytes));
+        source.set("stack_access_fraction",
+                   JsonValue(p.stackAccessFraction));
+        source.set("streaming_fraction",
+                   JsonValue(p.streamingFraction));
+        source.set("seed", JsonValue(p.seed));
+    }
+    identity.set("workload", std::move(source));
+
+    // Canonical policy notation: aliases ("EMISSARY") and formatting
+    // variants normalise to one spelling.
+    identity.set("policy",
+                 JsonValue(replacement::PolicySpec::parse(
+                               run.l2Policy)
+                               .toString()));
+    identity.set("config",
+                 JsonValue(canonicalRunOptions(run.options)));
+
+    if (timing_policy.empty()) {
+        identity.set("role", JsonValue("exact"));
+    } else {
+        identity.set("role",
+                     JsonValue(sampled_sets > 1
+                                   ? "monitor_sampled_" +
+                                         std::to_string(sampled_sets)
+                                   : std::string("monitor")));
+        identity.set("timing_policy",
+                     JsonValue(replacement::PolicySpec::parse(
+                                   timing_policy)
+                                   .toString()));
+    }
+    identity.set("build_sha", JsonValue(build_sha));
+    return identity.dump(0);
+}
+
+std::string
+cellCacheKey(const std::string &canonical)
+{
+    return "emc1-" + hex64(fnv1a64(canonical));
+}
 
 const char *
 cellExecutionName(CellExecution execution)
@@ -133,6 +273,8 @@ cellExecutionName(CellExecution execution)
         return "fused_monitor";
       case CellExecution::FusedMonitorSampled:
         return "fused_monitor_sampled";
+      case CellExecution::Cached:
+        return "cached";
     }
     return "unknown";
 }
@@ -237,7 +379,8 @@ GridResults::GridResults(std::size_t workloads, std::size_t runs)
     : cells_(workloads, std::vector<Metrics>(runs)),
       execution_(workloads,
                  std::vector<CellExecution>(
-                     runs, CellExecution::Sequential))
+                     runs, CellExecution::Sequential)),
+      registries_(workloads, std::vector<stats::Registry>(runs))
 {
     timing_.runSeconds.assign(workloads,
                               std::vector<double>(runs, 0.0));
@@ -250,7 +393,8 @@ GridResults::anyFused() const
 {
     for (const auto &row : execution_)
         for (const CellExecution execution : row)
-            if (execution != CellExecution::Sequential)
+            if (execution != CellExecution::Sequential &&
+                execution != CellExecution::Cached)
                 return true;
     return false;
 }
@@ -382,6 +526,97 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
             replacement::PolicySpec::parse(run.options.l1iPolicy));
     }
 
+    GridResults results(grid.workloads.size(), grid.runs.size());
+    results.timing_.workers = pool.workerCount();
+    std::mutex progress_mutex;
+    // Progress-state shared by the completion counters; guarded by
+    // progress_mutex like the user callback.
+    std::size_t completed_cells = 0;
+    std::uint64_t completed_instructions = 0;
+
+    // Serialized completion bookkeeping shared by both engines.
+    const auto note_cell_done = [&](std::size_t w, std::size_t r,
+                                    std::uint64_t instructions) {
+        if (!progress && !recorder)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++completed_cells;
+        completed_instructions += instructions;
+        if (recorder) {
+            recorder->counter("cells_completed",
+                              static_cast<double>(completed_cells));
+            const double elapsed = secondsSince(wall_start);
+            recorder->counter(
+                "minst_per_sec",
+                elapsed > 0.0 ? static_cast<double>(
+                                    completed_instructions) /
+                                    elapsed / 1e6
+                              : 0.0);
+        }
+        if (progress)
+            progress(w, r);
+    };
+
+    const bool collect = options.collectRegistries ||
+                         options.cellCache != nullptr;
+
+    // Cache probe: resolve every cell's content identity and serve
+    // hits before the build phase, so a fully cached row skips even
+    // its replay-buffer build. Roles follow the request layout, not
+    // the miss set: with fused scheduling, the first column of every
+    // kMaxLanes chunk is the exact timing lane and the rest are
+    // monitor lanes driven by that column's policy.
+    std::vector<std::vector<std::string>> cache_keys;
+    std::vector<std::vector<std::string>> cache_canonicals;
+    std::vector<std::vector<char>> cache_hits;
+    std::vector<char> row_fully_cached(grid.workloads.size(), 0);
+    if (options.cellCache) {
+        const std::size_t chunk_lanes =
+            cache::PolicyLaneBank::kMaxLanes;
+        const std::string &sha = buildInfo().gitSha;
+        cache_keys.assign(grid.workloads.size(),
+                          std::vector<std::string>(grid.runs.size()));
+        cache_canonicals = cache_keys;
+        cache_hits.assign(grid.workloads.size(),
+                          std::vector<char>(grid.runs.size(), 0));
+        for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+            bool all_hit = true;
+            for (std::size_t r = 0; r < grid.runs.size(); ++r) {
+                const bool monitor = fusable && r % chunk_lanes != 0;
+                cache_canonicals[w][r] = cellCacheCanonical(
+                    grid.workloads[w], grid.runs[r],
+                    monitor ? grid.runs[r - r % chunk_lanes].l2Policy
+                            : std::string(),
+                    options.sampledSets, sha);
+                cache_keys[w][r] =
+                    cellCacheKey(cache_canonicals[w][r]);
+                CellCacheEntry entry;
+                if (!options.cellCache->lookup(
+                        cache_keys[w][r], cache_canonicals[w][r],
+                        entry)) {
+                    all_hit = false;
+                    continue;
+                }
+                // The display name sits outside the identity, so
+                // restamp it; every other field (footprint included)
+                // was stored post-stamp and comes back as simulated.
+                entry.metrics.benchmark = grid.workloads[w].name;
+                results.cells_[w][r] = std::move(entry.metrics);
+                results.execution_[w][r] = CellExecution::Cached;
+                if (collect)
+                    results.registries_[w][r] =
+                        registryFromJson(entry.counters);
+                cache_hits[w][r] = 1;
+                note_cell_done(w, r,
+                               results.cells_[w][r].instructions);
+            }
+            row_fully_cached[w] = all_hit ? 1 : 0;
+        }
+    }
+    const auto cell_cached = [&](std::size_t w, std::size_t r) {
+        return options.cellCache != nullptr && cache_hits[w][r] != 0;
+    };
+
     // One immutable program per workload, generated in parallel and
     // then shared by every policy run of that workload. Within the
     // replay budget, the workload's committed stream is also packed
@@ -411,6 +646,11 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
         std::vector<std::future<void>> built;
         built.reserve(grid.workloads.size());
         for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+            // A fully cached row never simulates, so it does not
+            // need its program or replay buffer either — the warm
+            // path costs identity probes only.
+            if (row_fully_cached[w])
+                continue;
             const bool replay = w < replayable;
             built.push_back(pool.submit([&grid, &programs, &buffers,
                                          &footprints, &build_seconds,
@@ -454,38 +694,8 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
             future.get();
     }
 
-    GridResults results(grid.workloads.size(), grid.runs.size());
-    results.timing_.workers = pool.workerCount();
     for (const double s : build_seconds)
         results.timing_.replayBuildSeconds += s;
-    std::mutex progress_mutex;
-    // Progress-state shared by the completion counters; guarded by
-    // progress_mutex like the user callback.
-    std::size_t completed_cells = 0;
-    std::uint64_t completed_instructions = 0;
-
-    // Serialized completion bookkeeping shared by both engines.
-    const auto note_cell_done = [&](std::size_t w, std::size_t r,
-                                    std::uint64_t instructions) {
-        if (!progress && !recorder)
-            return;
-        std::lock_guard<std::mutex> lock(progress_mutex);
-        ++completed_cells;
-        completed_instructions += instructions;
-        if (recorder) {
-            recorder->counter("cells_completed",
-                              static_cast<double>(completed_cells));
-            const double elapsed = secondsSince(wall_start);
-            recorder->counter(
-                "minst_per_sec",
-                elapsed > 0.0 ? static_cast<double>(
-                                    completed_instructions) /
-                                    elapsed / 1e6
-                              : 0.0);
-        }
-        if (progress)
-            progress(w, r);
-    };
 
     std::vector<std::future<void>> cells;
     cells.reserve(grid.cellCount());
@@ -500,59 +710,96 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
                  base += max_lanes) {
                 const std::size_t count = std::min(
                     max_lanes, grid.runs.size() - base);
-                cells.push_back(pool.submit([&, w, base, count]() {
+                // Lanes this pass must still produce; cache hits
+                // already sit in their result slots.
+                std::vector<std::size_t> fresh;
+                fresh.reserve(count);
+                for (std::size_t lane = 0; lane < count; ++lane)
+                    if (!cell_cached(w, base + lane))
+                        fresh.push_back(lane);
+                if (fresh.empty())
+                    continue;
+                cells.push_back(pool.submit([&, w, base,
+                                             fresh]() {
                     const auto group_start =
                         std::chrono::steady_clock::now();
                     label_track();
                     const GridWorkload &row = grid.workloads[w];
                     stats::ScopedTimer span(recorder, "group");
-                    const std::vector<replacement::PolicySpec>
-                        group_specs(l2_specs.begin() + base,
-                                    l2_specs.begin() + base + count);
+                    // The chunk's designated timing policy always
+                    // drives the pass, even when its own cell was a
+                    // cache hit: monitor results depend on the
+                    // timing lane's policy through the shared
+                    // pipeline, and the cache keyed them under this
+                    // driver. A cached lane-0 result is recomputed
+                    // and discarded, never served wrong.
+                    std::vector<replacement::PolicySpec> group_specs;
+                    group_specs.reserve(fresh.size() + 1);
+                    group_specs.push_back(l2_specs[base]);
+                    for (const std::size_t lane : fresh)
+                        if (lane != 0)
+                            group_specs.push_back(
+                                l2_specs[base + lane]);
                     RunOptions group_options =
                         grid.runs[base].options;
                     group_options.sampledSets = options.sampledSets;
                     RunTelemetry telemetry;
                     telemetry.spans = recorder;
+                    std::vector<stats::Registry> lane_registries;
+                    std::vector<stats::Registry> *const regs =
+                        collect ? &lane_registries : nullptr;
                     std::vector<Metrics> metrics;
                     if (buffers[w]) {
                         metrics = runPolicyGroup(
                             buffers[w], group_specs, l1i_specs[base],
-                            group_options, nullptr, &telemetry);
+                            group_options, regs, &telemetry);
                     } else if (row.traceBacked()) {
                         auto source = openTraceSource(row);
                         metrics = runPolicyGroup(
                             *source, group_specs, l1i_specs[base],
-                            group_options, nullptr, &telemetry);
+                            group_options, regs, &telemetry);
                     } else {
                         metrics = runPolicyGroup(
                             *programs[w], group_specs,
-                            l1i_specs[base], group_options, nullptr,
+                            l1i_specs[base], group_options, regs,
                             &telemetry);
                     }
                     const double group_seconds =
                         secondsSince(group_start);
-                    // One pass produced every lane's cell: wall and
-                    // phase time split evenly so row/phase totals
-                    // still sum to real wall clock.
-                    const double share =
-                        group_seconds / static_cast<double>(count);
+                    // One pass produced every fresh cell: wall and
+                    // phase time split evenly over them so row and
+                    // phase totals still sum to real wall clock.
+                    const double denom =
+                        static_cast<double>(fresh.size());
+                    const double share = group_seconds / denom;
                     const GridTiming::CellPhases phase_share = {
-                        telemetry.warmupSeconds /
-                            static_cast<double>(count),
-                        telemetry.measureSeconds /
-                            static_cast<double>(count),
-                        telemetry.statExportSeconds /
-                            static_cast<double>(count)};
+                        telemetry.warmupSeconds / denom,
+                        telemetry.measureSeconds / denom,
+                        telemetry.statExportSeconds / denom};
                     std::uint64_t group_instructions = 0;
-                    for (std::size_t lane = 0; lane < count; ++lane) {
+                    std::size_t next_monitor = 1;
+                    for (const std::size_t lane : fresh) {
                         const std::size_t r = base + lane;
-                        Metrics &m = metrics[lane];
+                        const std::size_t slot =
+                            lane == 0 ? 0 : next_monitor++;
+                        Metrics &m = metrics[slot];
                         m.benchmark = row.name;
                         if (row.traceBacked())
                             m.codeFootprintLines = footprints[w];
                         group_instructions += m.instructions;
+                        if (options.cellCache) {
+                            CellCacheEntry entry;
+                            entry.metrics = m;
+                            entry.counters =
+                                registryJson(lane_registries[slot]);
+                            options.cellCache->store(
+                                cache_keys[w][r],
+                                cache_canonicals[w][r], entry);
+                        }
                         results.cells_[w][r] = std::move(m);
+                        if (collect)
+                            results.registries_[w][r] = std::move(
+                                lane_registries[slot]);
                         results.timing_.runSeconds[w][r] = share;
                         results.timing_.phaseSeconds[w][r] =
                             phase_share;
@@ -570,7 +817,7 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
                         span.arg("lanes",
                                  stats::JsonValue(
                                      static_cast<std::uint64_t>(
-                                         count)));
+                                         group_specs.size())));
                         span.arg("cell",
                                  stats::JsonValue(
                                      static_cast<std::uint64_t>(
@@ -590,7 +837,7 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
                                           group_seconds / 1e6
                                     : 0.0));
                     }
-                    for (std::size_t lane = 0; lane < count; ++lane)
+                    for (const std::size_t lane : fresh)
                         note_cell_done(
                             w, base + lane,
                             results.cells_[w][base + lane]
@@ -601,6 +848,8 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
     } else
     for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
         for (std::size_t r = 0; r < grid.runs.size(); ++r) {
+            if (cell_cached(w, r))
+                continue;
             cells.push_back(pool.submit([&, w, r]() {
                 const auto cell_start =
                     std::chrono::steady_clock::now();
@@ -613,11 +862,14 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
                 stats::ScopedTimer span(recorder, "cell");
                 RunTelemetry telemetry;
                 telemetry.spans = recorder;
+                RunInstrumentation instrumentation;
+                RunInstrumentation *const instr =
+                    collect ? &instrumentation : nullptr;
                 Metrics metrics;
                 if (buffers[w]) {
                     metrics = runPolicy(buffers[w], l2_specs[r],
                                         l1i_specs[r],
-                                        grid.runs[r].options, nullptr,
+                                        grid.runs[r].options, instr,
                                         &telemetry);
                 } else if (row.traceBacked()) {
                     // Past the replay budget: stream the file fresh
@@ -626,12 +878,12 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
                     auto source = openTraceSource(row);
                     metrics = runPolicy(*source, l2_specs[r],
                                         l1i_specs[r],
-                                        grid.runs[r].options, nullptr,
+                                        grid.runs[r].options, instr,
                                         &telemetry);
                 } else {
                     metrics = runPolicy(*programs[w], l2_specs[r],
                                         l1i_specs[r],
-                                        grid.runs[r].options, nullptr,
+                                        grid.runs[r].options, instr,
                                         &telemetry);
                 }
                 // Normalise what the source reports: the grid row's
@@ -642,9 +894,21 @@ runGrid(const PolicyGrid &grid, ThreadPool &pool,
                 metrics.benchmark = row.name;
                 if (row.traceBacked())
                     metrics.codeFootprintLines = footprints[w];
+                if (options.cellCache) {
+                    CellCacheEntry entry;
+                    entry.metrics = metrics;
+                    entry.counters =
+                        registryJson(instrumentation.registry);
+                    options.cellCache->store(cache_keys[w][r],
+                                             cache_canonicals[w][r],
+                                             entry);
+                }
                 const std::uint64_t cell_instructions =
                     metrics.instructions;
                 results.cells_[w][r] = std::move(metrics);
+                if (collect)
+                    results.registries_[w][r] =
+                        std::move(instrumentation.registry);
                 const double cell_seconds = secondsSince(cell_start);
                 results.timing_.runSeconds[w][r] = cell_seconds;
                 results.timing_.phaseSeconds[w][r] = {

@@ -36,6 +36,7 @@
 #include "core/threadpool.hh"
 #include "stats/histogram.hh"
 #include "stats/json.hh"
+#include "stats/registry.hh"
 #include "stats/span_recorder.hh"
 #include "stats/table.hh"
 #include "trace/profile.hh"
@@ -126,6 +127,81 @@ struct PolicyGrid
     }
 };
 
+/** One memoizable grid-cell result: the cell's Metrics plus its
+ *  end-of-window counter registry as flat JSON (the registryJson
+ *  shape), which is what a cached service response must reproduce
+ *  bit-identically. */
+struct CellCacheEntry
+{
+    Metrics metrics;
+    stats::JsonValue counters;
+};
+
+/**
+ * Cell-level result cache consulted by runGrid. Implementations must
+ * be safe to call from several pool workers at once.
+ *
+ * Keys are content addresses: cellCacheKey(cellCacheCanonical(...)).
+ * The canonical string travels with every call so an implementation
+ * can verify it against the stored entry — a hash collision then
+ * degrades to a miss, never to a wrong result. The engine only ever
+ * stores what it just simulated, so determinism (bit-identical
+ * results for identical identity) is what makes the memoization
+ * sound.
+ */
+class CellResultCache
+{
+  public:
+    virtual ~CellResultCache() = default;
+
+    /** Fetch the entry under @p key; false on miss. */
+    virtual bool lookup(const std::string &key,
+                        const std::string &canonical,
+                        CellCacheEntry &out) = 0;
+
+    /** Publish a freshly simulated entry under @p key. */
+    virtual void store(const std::string &key,
+                       const std::string &canonical,
+                       const CellCacheEntry &entry) = 0;
+};
+
+/**
+ * Canonical identity of one grid cell, the string the result cache
+ * hashes. Covers everything that can change the cell's Metrics:
+ *
+ *  - workload content: every generator parameter incl. seed for
+ *    synthetic rows; for trace rows the container's content digest
+ *    (EMTC header fields + the block-index CRC, which covers every
+ *    block's own CRC) or a whole-file CRC for raw EMTR files, plus
+ *    the skip/max window. The display name is excluded — renaming a
+ *    workload does not change its result.
+ *  - the L2 policy in canonical notation (aliases like "EMISSARY"
+ *    normalise to their expansion);
+ *  - every RunOptions knob incl. seed (canonicalRunOptions);
+ *  - the execution role: sequential cells and fused timing lanes are
+ *    bit-identical by construction and share the "exact" role
+ *    (@p timing_policy empty, @p sampled_sets ignored), while fused
+ *    monitor lanes carry the fused approximation and are keyed by
+ *    the policy of the timing lane that drove their pass (the shared
+ *    pipeline's stream depends on it through the L2-latency feedback
+ *    into fetch) plus the sampling factor — so an exact request can
+ *    never be served a monitor-lane estimate, and a monitor estimate
+ *    is only reused behind the identical driver;
+ *  - @p build_sha, the binary's code version (core::buildInfo).
+ *
+ * @throws std::runtime_error when a trace-backed workload's file
+ *         cannot be read (identity must be content-addressed).
+ */
+std::string cellCacheCanonical(const GridWorkload &workload,
+                               const RunSpec &run,
+                               const std::string &timing_policy,
+                               unsigned sampled_sets,
+                               const std::string &build_sha);
+
+/** Content address of @p canonical: "emc1-" + 16 hex chars of its
+ *  FNV-1a 64 hash (also the on-disk store's file stem). */
+std::string cellCacheKey(const std::string &canonical);
+
 /** Scheduling knobs for one runGrid call. */
 struct GridOptions
 {
@@ -142,6 +218,17 @@ struct GridOptions
     /** Fast mode: 1-in-K set sampling for the monitor lanes of
      *  fused groups (0 or 1 = full fidelity monitors). */
     unsigned sampledSets = 0;
+    /** Collect each cell's end-of-window counter registry into
+     *  GridResults (implied by cellCache, which must store them). */
+    bool collectRegistries = false;
+    /**
+     * Cell-level result cache (not owned; nullptr = off). Cells
+     * whose identity hits skip simulation entirely — a row where
+     * every cell hits does not even build its replay buffer — and
+     * land in GridResults with CellExecution::Cached and zero wall
+     * seconds; fresh cells are stored after they complete.
+     */
+    CellResultCache *cellCache = nullptr;
 };
 
 /** How one grid cell's Metrics were produced. */
@@ -152,6 +239,7 @@ enum class CellExecution : std::uint8_t
                          ///< (bit-identical to Sequential).
     FusedMonitor,        ///< Full-size monitor lane.
     FusedMonitorSampled, ///< Sampled-set monitor lane.
+    Cached,              ///< Served from the cell result cache.
 };
 
 /** The execution mode's name as stored in the sweep JSON. */
@@ -225,6 +313,15 @@ class GridResults
         return execution_[w][r];
     }
 
+    /** End-of-window counter registry of cell (@p w, @p r). Empty
+     *  unless the grid ran with GridOptions::collectRegistries (or a
+     *  cell cache, which implies it). */
+    const stats::Registry &
+    registryAt(std::size_t w, std::size_t r) const
+    {
+        return registries_[w][r];
+    }
+
     /** True when any cell ran inside a fused group. */
     bool anyFused() const;
 
@@ -257,6 +354,7 @@ class GridResults
 
     std::vector<std::vector<Metrics>> cells_;
     std::vector<std::vector<CellExecution>> execution_;
+    std::vector<std::vector<stats::Registry>> registries_;
     GridTiming timing_;
 };
 

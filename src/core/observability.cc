@@ -1,5 +1,7 @@
 #include "core/observability.hh"
 
+#include <stdexcept>
+
 namespace emissary::core
 {
 
@@ -135,6 +137,118 @@ registryJson(const stats::Registry &registry)
     for (const std::string &name : registry.names())
         out.set(name, stats::JsonValue(registry.value(name)));
     return out;
+}
+
+stats::Registry
+registryFromJson(const stats::JsonValue &json)
+{
+    if (!json.isObject())
+        throw std::runtime_error(
+            "registryFromJson: expected an object");
+    stats::Registry registry;
+    for (const auto &[name, value] : json.members()) {
+        if (!value.isNumber())
+            throw std::runtime_error(
+                "registryFromJson: counter '" + name +
+                "' is not a number");
+        registry.counter(name).increment(value.asUint());
+    }
+    return registry;
+}
+
+namespace
+{
+
+const stats::JsonValue &
+needField(const stats::JsonValue &json, const char *key)
+{
+    const stats::JsonValue *value = json.find(key);
+    if (!value)
+        throw std::runtime_error(
+            std::string("metricsFromJson: missing field '") + key +
+            "'");
+    return *value;
+}
+
+std::uint64_t
+uintOf(const stats::JsonValue &json, const char *key)
+{
+    const stats::JsonValue &value = needField(json, key);
+    if (!value.isNumber())
+        throw std::runtime_error(
+            std::string("metricsFromJson: field '") + key +
+            "' is not a number");
+    return value.asUint();
+}
+
+double
+doubleOf(const stats::JsonValue &json, const char *key)
+{
+    const stats::JsonValue &value = needField(json, key);
+    if (!value.isNumber())
+        throw std::runtime_error(
+            std::string("metricsFromJson: field '") + key +
+            "' is not a number");
+    return value.asDouble();
+}
+
+} // namespace
+
+Metrics
+metricsFromJson(const stats::JsonValue &json)
+{
+    if (!json.isObject())
+        throw std::runtime_error(
+            "metricsFromJson: expected an object");
+    Metrics m;
+    const stats::JsonValue &benchmark = needField(json, "benchmark");
+    const stats::JsonValue &policy = needField(json, "policy");
+    if (!benchmark.isString() || !policy.isString())
+        throw std::runtime_error("metricsFromJson: benchmark/policy "
+                                 "must be strings");
+    m.benchmark = benchmark.asString();
+    m.policy = policy.asString();
+    m.instructions = uintOf(json, "instructions");
+    m.cycles = uintOf(json, "cycles");
+    m.ipc = doubleOf(json, "ipc");
+    m.l1iMpki = doubleOf(json, "l1i_mpki");
+    m.l1dMpki = doubleOf(json, "l1d_mpki");
+    m.l2InstMpki = doubleOf(json, "l2_inst_mpki");
+    m.l2DataMpki = doubleOf(json, "l2_data_mpki");
+    m.l3Mpki = doubleOf(json, "l3_mpki");
+    m.starvationCycles = uintOf(json, "starvation_cycles");
+    m.starvationIqEmptyCycles =
+        uintOf(json, "starvation_iq_empty_cycles");
+    m.feStallCycles = uintOf(json, "fe_stall_cycles");
+    m.beStallCycles = uintOf(json, "be_stall_cycles");
+    m.totalStallCycles = uintOf(json, "total_stall_cycles");
+    m.decodeRate = doubleOf(json, "decode_rate");
+    m.issueRate = doubleOf(json, "issue_rate");
+    m.condMispredictsPerKi =
+        doubleOf(json, "cond_mispredicts_per_ki");
+    m.btbMissesPerKi = doubleOf(json, "btb_misses_per_ki");
+
+    const stats::JsonValue &energy = needField(json, "energy");
+    m.energy.coreDynamicJ = doubleOf(energy, "core_dynamic_j");
+    m.energy.cacheDynamicJ = doubleOf(energy, "cache_dynamic_j");
+    m.energy.dramJ = doubleOf(energy, "dram_j");
+    m.energy.leakageJ = doubleOf(energy, "leakage_j");
+    needField(energy, "total_j");
+
+    const stats::JsonValue &distribution =
+        needField(json, "priority_distribution");
+    if (!distribution.isArray())
+        throw std::runtime_error(
+            "metricsFromJson: priority_distribution must be an "
+            "array");
+    m.priorityDistribution.reserve(distribution.size());
+    for (std::size_t i = 0; i < distribution.size(); ++i)
+        m.priorityDistribution.push_back(
+            distribution.at(i).asDouble());
+    m.highPriorityFills = uintOf(json, "high_priority_fills");
+    m.priorityUpgrades = uintOf(json, "priority_upgrades");
+    m.codeFootprintLines = uintOf(json, "code_footprint_lines");
+    return m;
 }
 
 const std::vector<TraceCategory> &

@@ -47,6 +47,22 @@ void populateRegistry(stats::Registry &registry,
 stats::JsonValue registryJson(const stats::Registry &registry);
 
 /**
+ * Inverse of registryJson: rebuild a Registry from its flat JSON
+ * object. Round-trips exactly (counter values are 64-bit integers).
+ * @throws std::runtime_error on a non-object or non-integer member.
+ */
+stats::Registry registryFromJson(const stats::JsonValue &json);
+
+/**
+ * Inverse of Metrics::toJson, used by the sweep-result cache to
+ * rehydrate on-disk entries. Strict: every field toJson writes must
+ * be present with the right type (the derived "total_j" is checked
+ * but not stored).
+ * @throws std::runtime_error naming the missing or malformed field.
+ */
+Metrics metricsFromJson(const stats::JsonValue &json);
+
+/**
  * Every trace category the simulator can emit, with the registry
  * counter whose end-of-window value equals the category's event
  * count (the reconciliation contract verified by

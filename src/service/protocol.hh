@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Wire schemas of the sweep service (docs/service.md):
+ *
+ *  - "emissary.request.v1"  — one newline-delimited JSON object per
+ *    request: an op ("sweep" | "stats" | "ping" | "shutdown"), and
+ *    for sweeps an inline workload catalog or a manifest path, a
+ *    policy grid, run config and scheduling knobs;
+ *  - "emissary.response.v1" — the reply: for sweeps the full
+ *    emissary.sweep.v1 document with each run's counter registry
+ *    attached, plus a cache hit/miss summary;
+ *  - "emissary.error.v1"    — strict-parse failures as structured
+ *    errors naming the offending field; the daemon never dies on a
+ *    malformed request.
+ *
+ * Parsing is strict in the repo's house style: unknown keys, wrong
+ * types, empty grids and unparsable policy notation all throw
+ * RequestError with the field named.
+ */
+
+#ifndef EMISSARY_SERVICE_PROTOCOL_HH
+#define EMISSARY_SERVICE_PROTOCOL_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "core/grid.hh"
+#include "stats/json.hh"
+
+namespace emissary::service
+{
+
+/** A request defect, locating the field that caused it. */
+class RequestError : public std::runtime_error
+{
+  public:
+    RequestError(std::string field_name, const std::string &message)
+        : std::runtime_error(message), field_(std::move(field_name))
+    {
+    }
+
+    const std::string &field() const { return field_; }
+
+  private:
+    std::string field_;
+};
+
+/** One parsed, validated request. */
+struct ServiceRequest
+{
+    std::string id;       ///< Client correlation id ("" if absent).
+    std::string op;       ///< "sweep", "stats", "ping", "shutdown".
+    core::PolicyGrid grid;   ///< Resolved grid (sweep only).
+    bool fused = false;      ///< Fused row scheduling.
+    unsigned sampledSets = 0; ///< Monitor-lane set sampling.
+};
+
+/**
+ * Parse and validate one request line.
+ * @throws RequestError naming the malformed field.
+ */
+ServiceRequest parseRequest(const std::string &text);
+
+/** An "emissary.error.v1" document. */
+stats::JsonValue errorJson(const std::string &id,
+                           const std::string &field,
+                           const std::string &message);
+
+/**
+ * An "emissary.response.v1" sweep reply: the emissary.sweep.v1
+ * document (each run manifest extended with its "counters"
+ * registry), plus {"cache": {"hits", "misses"}} counted from cell
+ * provenance. Cached and freshly simulated cells produce
+ * bit-identical "metrics" and "counters" members (the memoization
+ * contract; tests/test_service.cpp).
+ */
+stats::JsonValue sweepResponseJson(const std::string &id,
+                                   const core::PolicyGrid &grid,
+                                   const core::GridResults &results);
+
+} // namespace emissary::service
+
+#endif // EMISSARY_SERVICE_PROTOCOL_HH

@@ -1,0 +1,173 @@
+#include "service/result_cache.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/observability.hh"
+#include "stats/json.hh"
+
+namespace emissary::service
+{
+
+namespace
+{
+
+/** Rough live size of one entry: both JSON strings dominate; the
+ *  fixed Metrics struct rides as a constant. */
+std::uint64_t
+entryBytes(const std::string &canonical,
+           const core::CellCacheEntry &payload)
+{
+    return canonical.size() + payload.counters.dump(0).size() + 512;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir, std::uint64_t budget_bytes)
+    : dir_(std::move(dir)), budgetBytes_(budget_bytes)
+{
+    counters_.budgetBytes = budget_bytes;
+}
+
+std::string
+ResultCache::diskPath(const std::string &key) const
+{
+    if (dir_.empty())
+        return {};
+    return (std::filesystem::path(dir_) / (key + ".json")).string();
+}
+
+bool
+ResultCache::lookup(const std::string &key,
+                    const std::string &canonical,
+                    core::CellCacheEntry &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = entries_.find(key);
+    if (found != entries_.end()) {
+        // Collision guard: the address matched, the identity must
+        // too, or this is somebody else's result.
+        if (found->second.canonical != canonical) {
+            ++counters_.misses;
+            return false;
+        }
+        lru_.splice(lru_.begin(), lru_, found->second.lruPosition);
+        out = found->second.payload;
+        ++counters_.hits;
+        return true;
+    }
+    if (readDiskLocked(key, canonical, out)) {
+        ++counters_.hits;
+        ++counters_.diskHits;
+        return true;
+    }
+    ++counters_.misses;
+    return false;
+}
+
+bool
+ResultCache::readDiskLocked(const std::string &key,
+                            const std::string &canonical,
+                            core::CellCacheEntry &out)
+{
+    const std::string path = diskPath(key);
+    if (path.empty())
+        return false;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    // A torn write, hand-edited file or schema drift must read as a
+    // miss, not take the daemon down.
+    try {
+        const stats::JsonValue doc =
+            stats::JsonValue::parse(text.str());
+        const stats::JsonValue *schema = doc.find("schema");
+        const stats::JsonValue *stored = doc.find("canonical");
+        const stats::JsonValue *metrics = doc.find("metrics");
+        const stats::JsonValue *counters = doc.find("counters");
+        if (!schema || !schema->isString() ||
+            schema->asString() != "emissary.cell.v1" || !stored ||
+            !stored->isString() || !metrics || !counters ||
+            !counters->isObject())
+            throw std::runtime_error("bad cell entry shape");
+        if (stored->asString() != canonical)
+            return false; // Different identity under this address.
+        core::CellCacheEntry payload;
+        payload.metrics = core::metricsFromJson(*metrics);
+        payload.counters = *counters;
+        out = payload;
+        insertLocked(key, canonical, std::move(payload));
+        return true;
+    } catch (const std::exception &) {
+        ++counters_.rejected;
+        return false;
+    }
+}
+
+void
+ResultCache::store(const std::string &key,
+                   const std::string &canonical,
+                   const core::CellCacheEntry &entry)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.find(key) != entries_.end())
+        return; // Deterministic results: a re-store adds nothing.
+
+    const std::string path = diskPath(key);
+    if (!path.empty()) {
+        stats::JsonValue doc = stats::JsonValue::object();
+        doc.set("schema", stats::JsonValue("emissary.cell.v1"));
+        doc.set("key", stats::JsonValue(key));
+        doc.set("canonical", stats::JsonValue(canonical));
+        doc.set("metrics", entry.metrics.toJson());
+        doc.set("counters", entry.counters);
+        // Write-then-rename so a crash mid-write leaves no torn
+        // entry under the live name.
+        const std::string tmp = path + ".tmp";
+        stats::writeJsonFile(tmp, doc);
+        std::filesystem::rename(tmp, path);
+        ++counters_.diskWrites;
+    }
+    insertLocked(key, canonical, entry);
+}
+
+void
+ResultCache::insertLocked(const std::string &key,
+                          std::string canonical,
+                          core::CellCacheEntry payload)
+{
+    lru_.push_front(key);
+    Entry stored;
+    stored.bytes = entryBytes(canonical, payload);
+    stored.canonical = std::move(canonical);
+    stored.payload = std::move(payload);
+    stored.lruPosition = lru_.begin();
+    bytes_ += stored.bytes;
+    entries_.emplace(key, std::move(stored));
+
+    while (budgetBytes_ > 0 && bytes_ > budgetBytes_ &&
+           lru_.size() > 1) {
+        const std::string victim = lru_.back();
+        lru_.pop_back();
+        const auto found = entries_.find(victim);
+        bytes_ -= found->second.bytes;
+        entries_.erase(found);
+        ++counters_.evictions;
+    }
+}
+
+ResultCache::Snapshot
+ResultCache::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot out = counters_;
+    out.entries = entries_.size();
+    out.bytes = bytes_;
+    return out;
+}
+
+} // namespace emissary::service

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Content-addressed sweep-result cache behind the service: an
+ * in-memory LRU index over core::CellCacheEntry payloads, backed by
+ * an on-disk store of "emissary.cell.v1" JSON files so results
+ * survive daemon restarts (same build SHA, same workload content →
+ * same key → warm start).
+ *
+ * Keys are core::cellCacheKey content addresses. Every entry carries
+ * its full canonical identity string and lookup compares it, so an
+ * FNV collision or a stale/corrupt disk file degrades to a miss,
+ * never to a wrong result. The byte budget bounds the in-memory
+ * index only; the disk store is the durable tier and an evicted
+ * entry is re-read from disk on its next hit.
+ */
+
+#ifndef EMISSARY_SERVICE_RESULT_CACHE_HH
+#define EMISSARY_SERVICE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/grid.hh"
+
+namespace emissary::service
+{
+
+class ResultCache : public core::CellResultCache
+{
+  public:
+    /**
+     * @param dir Directory of the on-disk store; created on first
+     *        write. Empty = memory-only (nothing survives the
+     *        process).
+     * @param budget_bytes In-memory budget; least-recently-used
+     *        entries spill to disk-only beyond it. 0 = unbounded.
+     */
+    explicit ResultCache(std::string dir,
+                         std::uint64_t budget_bytes = 0);
+
+    bool lookup(const std::string &key, const std::string &canonical,
+                core::CellCacheEntry &out) override;
+
+    void store(const std::string &key, const std::string &canonical,
+               const core::CellCacheEntry &entry) override;
+
+    /** Point-in-time counters for the /stats surface. */
+    struct Snapshot
+    {
+        std::uint64_t entries = 0;    ///< In-memory entries.
+        std::uint64_t bytes = 0;      ///< Estimated in-memory bytes.
+        std::uint64_t budgetBytes = 0;
+        std::uint64_t hits = 0;       ///< Memory + disk hits.
+        std::uint64_t diskHits = 0;   ///< Hits served from disk.
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;  ///< Spilled to disk-only.
+        std::uint64_t diskWrites = 0;
+        std::uint64_t rejected = 0;   ///< Corrupt/mismatched files.
+    };
+    Snapshot snapshot() const;
+
+    /** On-disk file of @p key (empty when memory-only). */
+    std::string diskPath(const std::string &key) const;
+
+  private:
+    struct Entry
+    {
+        std::string canonical;
+        core::CellCacheEntry payload;
+        std::uint64_t bytes = 0;
+        std::list<std::string>::iterator lruPosition;
+    };
+
+    /** Insert under the lock, evicting past the budget. */
+    void insertLocked(const std::string &key, std::string canonical,
+                      core::CellCacheEntry payload);
+
+    /** Disk probe under the lock; true when rehydrated into @p out. */
+    bool readDiskLocked(const std::string &key,
+                        const std::string &canonical,
+                        core::CellCacheEntry &out);
+
+    mutable std::mutex mutex_;
+    std::string dir_;
+    std::uint64_t budgetBytes_;
+    std::uint64_t bytes_ = 0;
+    std::list<std::string> lru_; ///< Front = most recently used.
+    std::unordered_map<std::string, Entry> entries_;
+    Snapshot counters_;
+};
+
+} // namespace emissary::service
+
+#endif // EMISSARY_SERVICE_RESULT_CACHE_HH

@@ -1,0 +1,176 @@
+#include "service/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace emissary::service
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw std::runtime_error("emissary_serve: " + what + ": " +
+                             std::strerror(errno));
+}
+
+/** Write all of @p text, retrying short writes; false on error. */
+bool
+writeAll(int fd, const std::string &text)
+{
+    std::size_t sent = 0;
+    while (sent < text.size()) {
+        const ssize_t n = ::send(fd, text.data() + sent,
+                                 text.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Server::Server(SweepService &service, const Options &options)
+    : service_(service), options_(options)
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throwErrno("socket");
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(options.port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&address),
+               sizeof(address)) != 0)
+        throwErrno("bind 127.0.0.1:" + std::to_string(options.port));
+    if (::listen(listenFd_, 64) != 0)
+        throwErrno("listen");
+
+    socklen_t length = sizeof(address);
+    if (::getsockname(listenFd_,
+                      reinterpret_cast<sockaddr *>(&address),
+                      &length) != 0)
+        throwErrno("getsockname");
+    port_ = ntohs(address.sin_port);
+}
+
+Server::~Server()
+{
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+void
+Server::run()
+{
+    std::vector<std::thread> connections;
+    while (!stopping()) {
+        pollfd waiter{listenFd_, POLLIN, 0};
+        const int ready = ::poll(&waiter, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("poll");
+        }
+        if (ready == 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            throwErrno("accept");
+        }
+        connections.emplace_back(
+            [this, fd]() { serveConnection(fd); });
+    }
+    for (std::thread &connection : connections)
+        connection.join();
+}
+
+void
+Server::serveConnection(int fd)
+{
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::string buffer;
+    bool open = true;
+    while (open && !stopping()) {
+        // Serve every complete line already buffered.
+        std::size_t newline;
+        while (open &&
+               (newline = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, newline);
+            buffer.erase(0, newline + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            bool shutdown_requested = false;
+            const std::string reply =
+                service_.handle(line, &shutdown_requested) + "\n";
+            if (!writeAll(fd, reply))
+                open = false;
+            if (shutdown_requested) {
+                stop();
+                open = false;
+            }
+        }
+        if (!open)
+            break;
+        if (buffer.size() > options_.maxRequestBytes) {
+            // Refuse to buffer unboundedly: name the defect, then
+            // hang up (the rest of the line would be garbage).
+            writeAll(fd,
+                     errorJson("", "request",
+                               "request exceeds " +
+                                   std::to_string(
+                                       options_.maxRequestBytes) +
+                                   " bytes")
+                             .dump(0) +
+                         "\n");
+            break;
+        }
+
+        pollfd waiter{fd, POLLIN, 0};
+        const int ready = ::poll(&waiter, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0)
+            continue;
+        char chunk[64 * 1024];
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break; // EOF or error: the client is gone.
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+}
+
+} // namespace emissary::service

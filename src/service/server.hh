@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Localhost TCP front end of the sweep service: newline-delimited
+ * "emissary.request.v1" JSON in, one newline-delimited reply per
+ * request out. Connections are accepted on 127.0.0.1 only — the
+ * daemon is a build-tree tool, not a network service.
+ *
+ * The accept loop and every connection reader poll with a short
+ * timeout and re-check an atomic stop flag, so stop() (called from
+ * a SIGTERM handler — it only writes the atomic) drains cleanly: no
+ * half-written response, listener closed, every connection thread
+ * joined before run() returns.
+ */
+
+#ifndef EMISSARY_SERVICE_SERVER_HH
+#define EMISSARY_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "service/service.hh"
+
+namespace emissary::service
+{
+
+class Server
+{
+  public:
+    struct Options
+    {
+        /** TCP port to bind on 127.0.0.1; 0 = ephemeral (read the
+         *  outcome from port()). */
+        std::uint16_t port = 0;
+        /** Requests longer than this (bytes, newline excluded) are
+         *  answered with an emissary.error.v1 and the connection
+         *  closed. */
+        std::size_t maxRequestBytes = 8u << 20;
+    };
+
+    /**
+     * Bind and listen immediately; @throws std::runtime_error with
+     * errno context when the socket cannot be set up.
+     */
+    Server(SweepService &service, const Options &options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** The bound port (resolves an ephemeral request). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Serve until stop() is called or a client sends a well-formed
+     * shutdown request. Joins every connection thread before
+     * returning.
+     */
+    void run();
+
+    /** Request a graceful stop. Only writes an atomic flag, so it
+     *  is safe to call from a signal handler. */
+    void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+    bool stopping() const
+    {
+        return stop_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void serveConnection(int fd);
+
+    SweepService &service_;
+    Options options_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace emissary::service
+
+#endif // EMISSARY_SERVICE_SERVER_HH

@@ -1,0 +1,218 @@
+#include "service/service.hh"
+
+#include <algorithm>
+#include <exception>
+
+#include "core/buildinfo.hh"
+#include "core/grid.hh"
+#include "stats/chrome_trace.hh"
+#include "stats/span_recorder.hh"
+
+namespace emissary::service
+{
+
+using stats::JsonValue;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** p-th percentile of @p sorted (already ascending), in seconds. */
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+SweepService::SweepService(const Options &options)
+    : pool_(options.jobs),
+      cache_(options.cacheDir, options.cacheBudgetBytes),
+      traceDir_(options.traceDir),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+std::string
+SweepService::handle(const std::string &line,
+                     bool *shutdown_requested)
+{
+    if (shutdown_requested)
+        *shutdown_requested = false;
+
+    ServiceRequest request;
+    try {
+        request = parseRequest(line);
+    } catch (const RequestError &error) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++badRequests_;
+        return errorJson("", error.field(), error.what()).dump(0);
+    }
+
+    if (request.op == "ping" || request.op == "shutdown") {
+        if (request.op == "shutdown" && shutdown_requested)
+            *shutdown_requested = true;
+        JsonValue ack = JsonValue::object();
+        ack.set("schema", JsonValue("emissary.response.v1"));
+        if (!request.id.empty())
+            ack.set("id", JsonValue(request.id));
+        ack.set("op", JsonValue(request.op));
+        ack.set("ok", JsonValue(true));
+        return ack.dump(0);
+    }
+    if (request.op == "stats") {
+        JsonValue doc = statsJson();
+        if (!request.id.empty())
+            doc.set("id", JsonValue(request.id));
+        return doc.dump(0);
+    }
+    return handleSweep(request);
+}
+
+std::string
+SweepService::handleSweep(const ServiceRequest &request)
+{
+    const auto queued = std::chrono::steady_clock::now();
+    std::uint64_t job = 0;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        job = ++jobsAccepted_;
+        ++queueDepth_;
+    }
+
+    // One grid at a time: the pool is the parallel resource, and the
+    // cache probe plus scheduling inside runGrid assume they own it.
+    std::lock_guard<std::mutex> run(runMutex_);
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        --queueDepth_;
+    }
+
+    stats::SpanRecorder recorder;
+    const bool tracing = !traceDir_.empty();
+    if (tracing)
+        recorder.setEnabled(true);
+
+    core::GridOptions grid_options;
+    grid_options.fused = request.fused;
+    grid_options.sampledSets = request.sampledSets;
+    grid_options.collectRegistries = true;
+    grid_options.cellCache = &cache_;
+
+    try {
+        const core::GridResults results =
+            runGrid(request.grid, pool_, grid_options, {},
+                    tracing ? &recorder : nullptr);
+
+        std::uint64_t cached = 0;
+        for (std::size_t w = 0; w < request.grid.workloads.size();
+             ++w)
+            for (std::size_t r = 0; r < request.grid.runs.size();
+                 ++r)
+                if (results.executionAt(w, r) ==
+                    core::CellExecution::Cached)
+                    ++cached;
+        const std::uint64_t fresh =
+            request.grid.cellCount() - cached;
+
+        JsonValue response =
+            sweepResponseJson(request.id, request.grid, results);
+        if (tracing) {
+            const std::string trace_path =
+                traceDir_ + "/job-" + std::to_string(job) +
+                ".trace.json";
+            stats::ChromeTraceWriter::write(trace_path, recorder);
+            response.set("trace_path", JsonValue(trace_path));
+        }
+        recordLatency(secondsSince(queued), false, cached, fresh);
+        return response.dump(0);
+    } catch (const std::exception &error) {
+        // A failing sweep (unreadable trace file, simulator budget
+        // overrun) is the request's problem, not the daemon's.
+        recordLatency(secondsSince(queued), true, 0, 0);
+        return errorJson(request.id, "sweep", error.what()).dump(0);
+    }
+}
+
+void
+SweepService::recordLatency(double seconds, bool failed,
+                            std::uint64_t cached_cells,
+                            std::uint64_t fresh_cells)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    if (failed)
+        ++jobsFailed_;
+    else
+        ++jobsCompleted_;
+    cellsCached_ += cached_cells;
+    cellsFresh_ += fresh_cells;
+    latencySeconds_.push_back(seconds);
+}
+
+JsonValue
+SweepService::statsJson() const
+{
+    const ResultCache::Snapshot cache = cache_.snapshot();
+
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue("emissary.stats.v1"));
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        doc.set("uptime_seconds", JsonValue(secondsSince(start_)));
+        doc.set("jobs_accepted", JsonValue(jobsAccepted_));
+        doc.set("jobs_completed", JsonValue(jobsCompleted_));
+        doc.set("jobs_failed", JsonValue(jobsFailed_));
+        doc.set("bad_requests", JsonValue(badRequests_));
+        doc.set("queue_depth", JsonValue(queueDepth_));
+        doc.set("cells_cached", JsonValue(cellsCached_));
+        doc.set("cells_fresh", JsonValue(cellsFresh_));
+
+        std::vector<double> sorted = latencySeconds_;
+        std::sort(sorted.begin(), sorted.end());
+        JsonValue latency = JsonValue::object();
+        latency.set("count",
+                    JsonValue(static_cast<std::uint64_t>(
+                        sorted.size())));
+        latency.set("p50_ms",
+                    JsonValue(percentile(sorted, 0.50) * 1e3));
+        latency.set("p90_ms",
+                    JsonValue(percentile(sorted, 0.90) * 1e3));
+        latency.set("p99_ms",
+                    JsonValue(percentile(sorted, 0.99) * 1e3));
+        latency.set("max_ms",
+                    JsonValue(sorted.empty() ? 0.0
+                                             : sorted.back() * 1e3));
+        doc.set("latency", std::move(latency));
+    }
+
+    JsonValue cache_doc = JsonValue::object();
+    cache_doc.set("entries", JsonValue(cache.entries));
+    cache_doc.set("bytes", JsonValue(cache.bytes));
+    cache_doc.set("budget_bytes", JsonValue(cache.budgetBytes));
+    cache_doc.set("hits", JsonValue(cache.hits));
+    cache_doc.set("disk_hits", JsonValue(cache.diskHits));
+    cache_doc.set("misses", JsonValue(cache.misses));
+    cache_doc.set("evictions", JsonValue(cache.evictions));
+    cache_doc.set("disk_writes", JsonValue(cache.diskWrites));
+    cache_doc.set("rejected", JsonValue(cache.rejected));
+    doc.set("cache", std::move(cache_doc));
+
+    doc.set("provenance", core::buildProvenanceJson());
+    return doc;
+}
+
+} // namespace emissary::service

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The sweep service proper, transport-agnostic: one handle() call
+ * turns a request line into a response line. The TCP server
+ * (service/server.hh) and the tests drive the same object, so every
+ * protocol behaviour is unit-testable without sockets.
+ *
+ * Sweeps run on one shared core::ThreadPool through core::runGrid
+ * with the service's ResultCache attached, and execute one at a
+ * time — the pool is the parallel resource, so interleaving two
+ * grids would only thrash it. Concurrent requests queue on the run
+ * mutex; the queue depth and per-request latency percentiles are
+ * exported by the "stats" op ("emissary.stats.v1").
+ */
+
+#ifndef EMISSARY_SERVICE_SERVICE_HH
+#define EMISSARY_SERVICE_SERVICE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/threadpool.hh"
+#include "service/protocol.hh"
+#include "service/result_cache.hh"
+#include "stats/json.hh"
+
+namespace emissary::service
+{
+
+class SweepService
+{
+  public:
+    struct Options
+    {
+        /** Disk store of the result cache; empty = memory-only. */
+        std::string cacheDir;
+        /** In-memory cache budget in bytes (0 = unbounded). */
+        std::uint64_t cacheBudgetBytes = 0;
+        /** Simulation worker threads (0 = defaultWorkerCount). */
+        unsigned jobs = 0;
+        /** When set, every sweep job records a flight-recorder
+         *  trace to <traceDir>/job-<n>.trace.json and the response
+         *  carries its path ("trace_path"). */
+        std::string traceDir;
+    };
+
+    explicit SweepService(const Options &options);
+
+    /**
+     * Serve one request line. Always returns a single-line JSON
+     * reply — "emissary.response.v1", "emissary.stats.v1" or
+     * "emissary.error.v1"; request defects never throw out of here.
+     * @param shutdown_requested Set true when the line was a
+     *        well-formed shutdown request.
+     */
+    std::string handle(const std::string &line,
+                       bool *shutdown_requested = nullptr);
+
+    /** The "emissary.stats.v1" service counters document. */
+    stats::JsonValue statsJson() const;
+
+    ResultCache &cache() { return cache_; }
+
+  private:
+    std::string handleSweep(const ServiceRequest &request);
+    void recordLatency(double seconds, bool failed,
+                       std::uint64_t cached_cells,
+                       std::uint64_t fresh_cells);
+
+    core::ThreadPool pool_;
+    ResultCache cache_;
+    std::string traceDir_;
+    std::mutex runMutex_; ///< One sweep at a time on the pool.
+
+    mutable std::mutex statsMutex_;
+    std::uint64_t jobsAccepted_ = 0;
+    std::uint64_t jobsCompleted_ = 0;
+    std::uint64_t jobsFailed_ = 0;
+    std::uint64_t cellsCached_ = 0;
+    std::uint64_t cellsFresh_ = 0;
+    std::uint64_t badRequests_ = 0;
+    std::uint64_t queueDepth_ = 0;
+    std::vector<double> latencySeconds_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace emissary::service
+
+#endif // EMISSARY_SERVICE_SERVICE_HH

@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 #include <limits>
 #include <stdexcept>
 
@@ -77,6 +79,17 @@ JsonValue::find(const std::string &key) const
     return nullptr;
 }
 
+JsonValue *
+JsonValue::find(const std::string &key)
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (auto &[existing, stored] : object_)
+        if (existing == key)
+            return &stored;
+    return nullptr;
+}
+
 std::size_t
 JsonValue::size() const
 {
@@ -89,6 +102,14 @@ JsonValue::size() const
 
 const JsonValue &
 JsonValue::at(std::size_t index) const
+{
+    if (type_ != Type::Array)
+        throw std::domain_error("JsonValue::at: not an array");
+    return array_.at(index);
+}
+
+JsonValue &
+JsonValue::at(std::size_t index)
 {
     if (type_ != Type::Array)
         throw std::domain_error("JsonValue::at: not an array");
@@ -653,6 +674,22 @@ JsonValue::parse(const std::string &text)
 void
 writeJsonFile(const std::string &path, const JsonValue &value)
 {
+    // Artifact paths routinely point into directories that do not
+    // exist yet (EMISSARY_BENCH_JSON, bench_gate --append/--report,
+    // the service's --cache-dir): create the parents rather than
+    // failing on open, and name the directory when creation itself
+    // fails.
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+        if (ec)
+            throw std::runtime_error(
+                "writeJsonFile: cannot create directory '" +
+                parent.string() + "' for '" + path +
+                "': " + ec.message());
+    }
     std::ofstream out(path, std::ios::trunc);
     if (!out)
         throw std::runtime_error("writeJsonFile: cannot open '" +

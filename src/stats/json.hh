@@ -84,11 +84,18 @@ class JsonValue
     /** Object member lookup; nullptr when absent or not an object. */
     const JsonValue *find(const std::string &key) const;
 
+    /** Mutable member lookup, for editing a built document in
+     *  place (e.g. attaching per-run counters to a sweep). */
+    JsonValue *find(const std::string &key);
+
     /** Array length / object member count (0 for scalars). */
     std::size_t size() const;
 
     /** Array element access. @throws std::out_of_range */
     const JsonValue &at(std::size_t index) const;
+
+    /** Mutable array element access. @throws std::out_of_range */
+    JsonValue &at(std::size_t index);
 
     /** Object members in insertion order. */
     const std::vector<std::pair<std::string, JsonValue>> &

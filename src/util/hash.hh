@@ -1,0 +1,49 @@
+/**
+ * @file
+ * FNV-1a 64-bit hashing for content-addressed identifiers.
+ *
+ * The sweep-result cache keys every grid cell by a stable hash of
+ * its canonical identity string (core::cellCacheCanonical). FNV-1a
+ * is not cryptographic — the cache guards against collisions by
+ * storing the canonical string inside each entry and comparing it on
+ * lookup, so a collision degrades to a cache miss, never to a wrong
+ * result.
+ */
+
+#ifndef EMISSARY_UTIL_HASH_HH
+#define EMISSARY_UTIL_HASH_HH
+
+#include <cstdint>
+#include <string>
+
+namespace emissary
+{
+
+/** FNV-1a 64-bit over a byte string. */
+inline std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+/** @p value as 16 lowercase hex digits. */
+inline std::string
+hex64(std::uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+} // namespace emissary
+
+#endif // EMISSARY_UTIL_HASH_HH

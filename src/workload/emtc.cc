@@ -224,6 +224,7 @@ readMetadata(std::FILE *file, const std::string &path,
     const std::uint64_t index_offset = getU64(tail);
     info.blockCount = getU32(tail + 8);
     const std::uint32_t index_crc = getU32(tail + 12);
+    info.indexCrc = index_crc;
 
     const std::uint64_t expected_blocks =
         (info.recordCount + info.recordsPerBlock - 1) /

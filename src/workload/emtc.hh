@@ -78,6 +78,13 @@ struct TraceInfo
     std::uint64_t fileBytes = 0;
     /** Sum of packed block payload bytes. */
     std::uint64_t packedPayloadBytes = 0;
+    /**
+     * CRC-32 of the block index. The index stores every block's own
+     * CRC-32, so this single value is a digest of the container's
+     * full payload — the sweep-result cache uses it as the trace's
+     * content identity (core::cellCacheCanonical).
+     */
+    std::uint32_t indexCrc = 0;
 
     /** Bytes the same stream costs as a raw EMTR file. */
     std::uint64_t

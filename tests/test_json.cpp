@@ -152,8 +152,33 @@ TEST(JsonValue, WriteJsonFile)
     EXPECT_EQ(JsonValue::parse(text.str()), doc);
     EXPECT_EQ(text.str().back(), '\n');
 
-    EXPECT_THROW(writeJsonFile("/nonexistent-dir/x.json", doc),
-                 std::runtime_error);
+    // Artifact paths routinely point into directories that do not
+    // exist yet (EMISSARY_BENCH_JSON, bench_gate --append, the
+    // service cache): the writer creates the parents.
+    const std::string nested = ::testing::TempDir() +
+                               "/test_json_parents/a/b/c.json";
+    writeJsonFile(nested, doc);
+    std::ifstream nested_in(nested);
+    ASSERT_TRUE(nested_in.good());
+    std::ostringstream nested_text;
+    nested_text << nested_in.rdbuf();
+    EXPECT_EQ(JsonValue::parse(nested_text.str()), doc);
+
+    // When a parent cannot be created (a regular file sits in the
+    // way), the error names the directory instead of failing on the
+    // open with no context.
+    const std::string obstacle =
+        ::testing::TempDir() + "/test_json_obstacle";
+    { std::ofstream block(obstacle); block << "not a directory"; }
+    try {
+        writeJsonFile(obstacle + "/x.json", doc);
+        FAIL() << "expected writeJsonFile to throw";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what())
+                      .find("cannot create directory"),
+                  std::string::npos)
+            << error.what();
+    }
 }
 
 } // namespace
