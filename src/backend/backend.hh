@@ -54,6 +54,27 @@ struct BackendStats
     std::uint64_t branchesResolved = 0;
 
     void reset() { *this = BackendStats{}; }
+
+    /** Component-wise sum — the time-parallel chunk splice
+     *  (core::runPolicyTimeParallel) adds window slices. */
+    BackendStats &
+    operator+=(const BackendStats &other)
+    {
+        committed += other.committed;
+        issued += other.issued;
+        cycles += other.cycles;
+        feStallCycles += other.feStallCycles;
+        beStallCycles += other.beStallCycles;
+        starvationCycles += other.starvationCycles;
+        starvationIqEmptyCycles += other.starvationIqEmptyCycles;
+        resteerEmptyCycles += other.resteerEmptyCycles;
+        decodeActiveCycles += other.decodeActiveCycles;
+        issueActiveCycles += other.issueActiveCycles;
+        loads += other.loads;
+        stores += other.stores;
+        branchesResolved += other.branchesResolved;
+        return *this;
+    }
 };
 
 /** The back-end pipeline model. */

@@ -127,6 +127,38 @@ struct HierarchyStats
     std::uint64_t starveCyclesMem = 0;
 
     void reset() { *this = HierarchyStats{}; }
+
+    /** Component-wise sum — the time-parallel chunk splice
+     *  (core::runPolicyTimeParallel) adds window slices. */
+    HierarchyStats &
+    operator+=(const HierarchyStats &other)
+    {
+        l1iAccesses += other.l1iAccesses;
+        l1iMisses += other.l1iMisses;
+        l1dAccesses += other.l1dAccesses;
+        l1dMisses += other.l1dMisses;
+        l2InstAccesses += other.l2InstAccesses;
+        l2InstMisses += other.l2InstMisses;
+        l2DataAccesses += other.l2DataAccesses;
+        l2DataMisses += other.l2DataMisses;
+        l3Accesses += other.l3Accesses;
+        l3Misses += other.l3Misses;
+        dramReads += other.dramReads;
+        dramWrites += other.dramWrites;
+        nlpIssued += other.nlpIssued;
+        l2Fills += other.l2Fills;
+        l2Evictions += other.l2Evictions;
+        highPriorityFills += other.highPriorityFills;
+        priorityUpgrades += other.priorityUpgrades;
+        starvationNotes += other.starvationNotes;
+        l2InstHitsProtected += other.l2InstHitsProtected;
+        l2ProtectedEvictions += other.l2ProtectedEvictions;
+        idealHiddenMisses += other.idealHiddenMisses;
+        starveCyclesL2 += other.starveCyclesL2;
+        starveCyclesL3 += other.starveCyclesL3;
+        starveCyclesMem += other.starveCyclesMem;
+        return *this;
+    }
 };
 
 class PolicyLaneBank;
@@ -241,6 +273,25 @@ class Hierarchy
     HierarchyStats &stats() { return stats_; }
     const HierarchyStats &stats() const { return stats_; }
 
+    /**
+     * Functional-warming mode (the warmup phase of every run, and a
+     * time-parallel chunk's overlapped warming prefix): accesses
+     * evolve all cache, priority-bit and MSHR-starvation state
+     * exactly as a counted run would — which is what makes warmed
+     * windows bit-deterministic — while the stats counters
+     * accumulated under warming are discarded when warming ends, so
+     * the measurement counters start unperturbed. Implemented as
+     * discard-at-exit rather than per-increment gating to keep the
+     * access hot path free of a mode test.
+     */
+    void setWarming(bool warming)
+    {
+        if (warming_ && !warming)
+            stats_.reset();
+        warming_ = warming;
+    }
+    bool warming() const { return warming_; }
+
     const Config &config() const { return config_; }
 
     /** Outstanding-miss count (testing). */
@@ -293,6 +344,7 @@ class Hierarchy
 
     HierarchyObserver *observer_ = nullptr;
     PolicyLaneBank *lanes_ = nullptr;
+    bool warming_ = false;
     bool starvationMapEnabled_ = false;
     std::unordered_map<std::uint64_t, std::uint64_t> starvationByLine_;
     std::unordered_map<std::uint64_t, std::uint64_t> l2InstMissByLine_;

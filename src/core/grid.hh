@@ -240,6 +240,8 @@ enum class CellExecution : std::uint8_t
     FusedMonitor,        ///< Full-size monitor lane.
     FusedMonitorSampled, ///< Sampled-set monitor lane.
     Cached,              ///< Served from the cell result cache.
+    TimeParallel,        ///< Chunked time-parallel splice
+                         ///< (core::runPolicyTimeParallel).
 };
 
 /** The execution mode's name as stored in the sweep JSON. */

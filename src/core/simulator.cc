@@ -130,15 +130,16 @@ Simulator::resetWindowStats()
 }
 
 Metrics
-Simulator::collect(std::uint64_t window_cycles) const
+composeMetrics(const MetricsInputs &inputs)
 {
-    const auto &hs = hierarchy_.stats();
-    const auto &bs = backend_.stats();
-    const auto &fs = frontend_.stats();
+    const cache::HierarchyStats &hs = inputs.hierarchy;
+    const backend::BackendStats &bs = inputs.backend;
+    const frontend::FrontEndStats &fs = inputs.frontend;
+    const std::uint64_t window_cycles = inputs.windowCycles;
 
     Metrics m;
-    m.benchmark = source_.name();
-    m.policy = hierarchy_.l2().policy().name();
+    m.benchmark = inputs.benchmark;
+    m.policy = inputs.policy;
     m.instructions = bs.committed;
     m.cycles = window_cycles;
     const double ki =
@@ -156,8 +157,8 @@ Simulator::collect(std::uint64_t window_cycles) const
     m.l2DataMpki = static_cast<double>(hs.l2DataMisses) / safe_ki;
     m.l3Mpki = static_cast<double>(hs.l3Misses) / safe_ki;
 
-    m.starvationCycles = bs.starvationCycles;
-    m.starvationIqEmptyCycles = bs.starvationIqEmptyCycles;
+    m.starvationCycles = inputs.starvationCycles;
+    m.starvationIqEmptyCycles = inputs.starvationIqEmptyCycles;
     m.feStallCycles = bs.feStallCycles;
     m.beStallCycles = bs.beStallCycles;
     m.totalStallCycles = bs.feStallCycles + bs.beStallCycles;
@@ -174,20 +175,41 @@ Simulator::collect(std::uint64_t window_cycles) const
     m.btbMissesPerKi =
         static_cast<double>(fs.btbMisses) / safe_ki;
 
-    const bool emissary_bits =
-        hierarchy_.l2().spec().family ==
-        replacement::PolicyFamily::EmissaryP;
     m.energy = energy::computeEnergy(hs, window_cycles,
-                                     m.instructions, emissary_bits);
+                                     m.instructions,
+                                     inputs.emissaryBits);
 
-    const auto hist = hierarchy_.l2().priorityDistribution();
-    m.priorityDistribution.resize(hist.domain());
-    for (std::size_t i = 0; i < hist.domain(); ++i)
-        m.priorityDistribution[i] = hist.fraction(i);
+    m.priorityDistribution = inputs.priorityDistribution;
     m.highPriorityFills = hs.highPriorityFills;
     m.priorityUpgrades = hs.priorityUpgrades;
 
     return m;
+}
+
+Metrics
+Simulator::collect(std::uint64_t window_cycles) const
+{
+    const auto &bs = backend_.stats();
+
+    MetricsInputs inputs;
+    inputs.benchmark = source_.name();
+    inputs.policy = hierarchy_.l2().policy().name();
+    inputs.hierarchy = hierarchy_.stats();
+    inputs.backend = bs;
+    inputs.frontend = frontend_.stats();
+    inputs.windowCycles = window_cycles;
+    inputs.starvationCycles = bs.starvationCycles;
+    inputs.starvationIqEmptyCycles = bs.starvationIqEmptyCycles;
+    inputs.emissaryBits =
+        hierarchy_.l2().spec().family ==
+        replacement::PolicyFamily::EmissaryP;
+
+    const auto hist = hierarchy_.l2().priorityDistribution();
+    inputs.priorityDistribution.resize(hist.domain());
+    for (std::size_t i = 0; i < hist.domain(); ++i)
+        inputs.priorityDistribution[i] = hist.fraction(i);
+
+    return composeMetrics(inputs);
 }
 
 Metrics
@@ -197,69 +219,35 @@ Simulator::collectLane(unsigned lane) const
     if (!lanes || lane >= lanes->laneCount())
         throw std::invalid_argument("collectLane: no such lane");
 
-    const cache::HierarchyStats hs =
-        lanes->laneStats(lane, hierarchy_.stats());
-    const auto &bs = backend_.stats();
-    const auto &fs = frontend_.stats();
-
-    Metrics m;
-    m.benchmark = source_.name();
-    m.policy = lanes->l2(lane).policy().name();
-    m.instructions = bs.committed;
+    MetricsInputs inputs;
+    inputs.benchmark = source_.name();
+    inputs.policy = lanes->l2(lane).policy().name();
+    inputs.hierarchy = lanes->laneStats(lane, hierarchy_.stats());
+    inputs.backend = backend_.stats();
+    inputs.frontend = frontend_.stats();
 
     // The lane's window length: the shared window adjusted by the
     // lane's first-order per-miss latency delta.
     const std::int64_t cycles =
         static_cast<std::int64_t>(lastWindowCycles_) +
         lanes->cycleDelta(lane);
-    m.cycles = cycles > 0 ? static_cast<std::uint64_t>(cycles)
-                          : lastWindowCycles_;
+    inputs.windowCycles = cycles > 0
+                              ? static_cast<std::uint64_t>(cycles)
+                              : lastWindowCycles_;
 
-    const double ki = static_cast<double>(m.instructions) / 1000.0;
-    const double safe_ki = ki > 0.0 ? ki : 1.0;
-
-    m.ipc = m.cycles > 0 ? static_cast<double>(m.instructions) /
-                               static_cast<double>(m.cycles)
-                         : 0.0;
-
-    m.l1iMpki = static_cast<double>(hs.l1iMisses) / safe_ki;
-    m.l1dMpki = static_cast<double>(hs.l1dMisses) / safe_ki;
-    m.l2InstMpki = static_cast<double>(hs.l2InstMisses) / safe_ki;
-    m.l2DataMpki = static_cast<double>(hs.l2DataMisses) / safe_ki;
-    m.l3Mpki = static_cast<double>(hs.l3Misses) / safe_ki;
-
-    m.starvationCycles = lanes->estStarvationCycles(lane);
-    m.starvationIqEmptyCycles =
+    inputs.starvationCycles = lanes->estStarvationCycles(lane);
+    inputs.starvationIqEmptyCycles =
         lanes->estStarvationIqEmptyCycles(lane);
-    m.feStallCycles = bs.feStallCycles;
-    m.beStallCycles = bs.beStallCycles;
-    m.totalStallCycles = bs.feStallCycles + bs.beStallCycles;
-
-    m.decodeRate =
-        bs.decodeActiveCycles > 0
-            ? static_cast<double>(bs.issued) /
-                  static_cast<double>(bs.decodeActiveCycles)
-            : 0.0;
-    m.issueRate = m.ipc;
-
-    m.condMispredictsPerKi =
-        static_cast<double>(fs.condMispredicts) / safe_ki;
-    m.btbMissesPerKi = static_cast<double>(fs.btbMisses) / safe_ki;
-
-    const bool emissary_bits =
+    inputs.emissaryBits =
         lanes->spec(lane).family ==
         replacement::PolicyFamily::EmissaryP;
-    m.energy = energy::computeEnergy(hs, m.cycles, m.instructions,
-                                     emissary_bits);
 
     const auto hist = lanes->l2(lane).priorityDistribution();
-    m.priorityDistribution.resize(hist.domain());
+    inputs.priorityDistribution.resize(hist.domain());
     for (std::size_t i = 0; i < hist.domain(); ++i)
-        m.priorityDistribution[i] = hist.fraction(i);
-    m.highPriorityFills = hs.highPriorityFills;
-    m.priorityUpgrades = hs.priorityUpgrades;
+        inputs.priorityDistribution[i] = hist.fraction(i);
 
-    return m;
+    return composeMetrics(inputs);
 }
 
 void
@@ -287,13 +275,21 @@ Simulator::run()
         config_.maxCycles > 0 ? config_.maxCycles
                               : 400 * (warmup + measure) + 1'000'000;
 
-    // Warm-up phase: run with stats flowing, then zero the counters.
+    // Warm-up phase in functional-warming mode: every cache,
+    // predictor and priority-bit structure evolves exactly as a
+    // counted run would, and leaving the mode discards the counters
+    // it accumulated — so a chunk warmed over W records starts its
+    // measure slice with clean counters over warmed state.
+    hierarchy_.setWarming(true);
+    frontend_.setWarming(true);
     while (committed() < warmup) {
         stepCycle();
         if (now_ > budget)
             throw std::runtime_error("Simulator: warm-up exceeded "
                                      "cycle budget");
     }
+    hierarchy_.setWarming(false);
+    frontend_.setWarming(false);
     resetWindowStats();
     lastPriorityReset_ = 0;
     if (onMeasureStart_)

@@ -28,6 +28,36 @@
 namespace emissary::core
 {
 
+/**
+ * Raw inputs from which one run's (or one lane's, or one spliced
+ * time-parallel run's) Metrics are composed. Every derived number in
+ * Metrics is a pure function of these fields, so summing the stats
+ * structs and cycle counts of N window slices and composing once
+ * yields the exact whole-window derivation — the splice rule of the
+ * time-parallel engine (core::runPolicyTimeParallel).
+ */
+struct MetricsInputs
+{
+    std::string benchmark;
+    std::string policy;
+    cache::HierarchyStats hierarchy;
+    backend::BackendStats backend;
+    frontend::FrontEndStats frontend;
+    /** Cycles of the (possibly spliced) measurement window. */
+    std::uint64_t windowCycles = 0;
+    /** Decode-starvation cycles: the backend counter for exact runs,
+     *  the lane estimator for fused monitor lanes. */
+    std::uint64_t starvationCycles = 0;
+    std::uint64_t starvationIqEmptyCycles = 0;
+    /** Policy keeps EMISSARY P bits (energy model surcharge). */
+    bool emissaryBits = false;
+    /** End-of-window L2 priority-distribution fractions. */
+    std::vector<double> priorityDistribution;
+};
+
+/** Derive a Metrics record from raw window counters. */
+Metrics composeMetrics(const MetricsInputs &inputs);
+
 /** A complete simulated machine bound to one workload. */
 class Simulator
 {
@@ -102,6 +132,13 @@ class Simulator
     backend::Backend &backend() { return backend_; }
     std::uint64_t now() const { return now_; }
     std::uint64_t committed() const;
+
+    /** Cycles of the last completed measurement window (the chunk
+     *  splicer and lane collection build on this). */
+    std::uint64_t lastWindowCycles() const
+    {
+        return lastWindowCycles_;
+    }
 
   private:
     /** HierarchyObserver → TraceSink adapter, armed at window start. */

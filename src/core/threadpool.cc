@@ -1,6 +1,7 @@
 #include "core/threadpool.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/experiment.hh"
 
@@ -10,6 +11,10 @@ namespace emissary::core
 namespace
 {
 thread_local int current_worker_index = -1;
+/** The pool the calling worker belongs to: a worker helping its own
+ *  pool may pop from its own deque, but a worker of pool A helping
+ *  pool B must behave like an external thief. */
+thread_local const ThreadPool *current_worker_pool = nullptr;
 } // namespace
 
 int
@@ -100,10 +105,40 @@ ThreadPool::runOne(unsigned self)
     return true;
 }
 
+bool
+ThreadPool::tryRunOne()
+{
+    // A worker helping its own pool reuses its deque identity (own
+    // work LIFO, then steal); any other thread scans as a thief
+    // starting from queue 0 — runOne's own-queue pop is just the
+    // first victim probed, which is safe from any thread.
+    const unsigned self =
+        current_worker_pool == this && current_worker_index >= 0
+            ? static_cast<unsigned>(current_worker_index)
+            : 0;
+    return runOne(self);
+}
+
+void
+ThreadPool::helpWhile(const std::function<bool()> &pending)
+{
+    while (pending()) {
+        if (tryRunOne())
+            continue;
+        // Nothing runnable: the outstanding jobs are on other
+        // workers. Sub-job granularity is milliseconds-plus
+        // (simulation chunks), so a short nap beats a condition
+        // variable here — no wakeup plumbing on the job completion
+        // path.
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+}
+
 void
 ThreadPool::workerLoop(unsigned self)
 {
     current_worker_index = static_cast<int>(self);
+    current_worker_pool = this;
     while (true) {
         if (runOne(self))
             continue;

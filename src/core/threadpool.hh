@@ -76,6 +76,31 @@ class ThreadPool
     static unsigned defaultWorkerCount();
 
     /**
+     * Execute one queued job on the calling thread, if any is
+     * queued. Callable from a pool worker (inside a job) or from any
+     * external thread; a worker drains its own deque first, an
+     * external caller steals. The building block that lets a job
+     * submit sub-jobs to its own pool and then *help* execute them
+     * instead of blocking a worker on their futures — which would
+     * deadlock once every worker waits.
+     *
+     * @return False when every queue was empty.
+     */
+    bool tryRunOne();
+
+    /**
+     * Run queued jobs on the calling thread until @p pending()
+     * returns false. When no job is runnable but work is still
+     * pending (the remaining jobs are executing on other workers),
+     * the call naps briefly and re-checks. Termination is the
+     * caller's contract: @p pending must eventually go false without
+     * this thread executing anything further (e.g. a completion
+     * counter advanced by the sub-jobs themselves, which must never
+     * block on this pool).
+     */
+    void helpWhile(const std::function<bool()> &pending);
+
+    /**
      * Index of the calling thread within its owning pool, or -1 when
      * the caller is not a pool worker. Jobs use it to attribute work
      * to a stable per-worker identity (the flight recorder's

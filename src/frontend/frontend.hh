@@ -53,6 +53,25 @@ struct FrontEndStats
     std::uint64_t fdipRequests = 0;
 
     void reset() { *this = FrontEndStats{}; }
+
+    /** Component-wise sum — the time-parallel chunk splice
+     *  (core::runPolicyTimeParallel) adds window slices. */
+    FrontEndStats &
+    operator+=(const FrontEndStats &other)
+    {
+        blocksFormed += other.blocksFormed;
+        condBranches += other.condBranches;
+        condMispredicts += other.condMispredicts;
+        indirectBranches += other.indirectBranches;
+        indirectMispredicts += other.indirectMispredicts;
+        returns += other.returns;
+        returnMispredicts += other.returnMispredicts;
+        btbMisses += other.btbMisses;
+        btbMissResteers += other.btbMissResteers;
+        fetchedInstrs += other.fetchedInstrs;
+        fdipRequests += other.fdipRequests;
+        return *this;
+    }
 };
 
 /** One FTQ entry: a predicted dynamic basic block. */
@@ -134,6 +153,21 @@ class FrontEnd
     FrontEndStats &stats() { return stats_; }
     const FrontEndStats &stats() const { return stats_; }
 
+    /**
+     * Functional-warming mode, mirroring
+     * cache::Hierarchy::setWarming: BTB/TAGE/RAS state trains
+     * exactly as in a counted run while the stats accumulated under
+     * warming are discarded when the mode ends, leaving the
+     * measurement counters unperturbed.
+     */
+    void setWarming(bool warming)
+    {
+        if (warming_ && !warming)
+            stats_.reset();
+        warming_ = warming;
+    }
+    bool warming() const { return warming_; }
+
     BasicBlockBtb &btb() { return btb_; }
     Tage &tage() { return tage_; }
 
@@ -187,6 +221,7 @@ class FrontEnd
     std::optional<std::uint64_t> haltedOnSeq_;
 
     FrontEndStats stats_;
+    bool warming_ = false;
 };
 
 } // namespace emissary::frontend

@@ -91,6 +91,11 @@ runOptionsFromJson(const JsonValue &config)
         } else if (key == "sampled_sets") {
             options.sampledSets = static_cast<unsigned>(
                 uintField(value, field));
+        } else if (key == "time_chunks") {
+            options.timeChunks = static_cast<unsigned>(
+                uintField(value, field));
+        } else if (key == "chunk_warmup_records") {
+            options.chunkWarmupRecords = uintField(value, field);
         } else {
             throw RequestError(field, "unknown config key '" + key +
                                           "'");

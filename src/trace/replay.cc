@@ -59,6 +59,37 @@ RecordBuffer::RecordBuffer(TraceSource &source, std::uint64_t records,
     appendFrom(source, records);
 }
 
+RecordBuffer::RecordBuffer(std::string name, std::uint64_t records,
+                           TailFactory tail_factory)
+    : pc_(records, 0),
+      nextPc_(records, 0),
+      memAddr_(records, 0),
+      clsTaken_(records, 0),
+      name_(std::move(name)),
+      tailFactory_(std::move(tail_factory))
+{
+}
+
+void
+RecordBuffer::writeRange(std::uint64_t start, const TraceRecord *recs,
+                         std::size_t n)
+{
+    if (start + n > pc_.size())
+        throw std::out_of_range(
+            "RecordBuffer::writeRange: span past the buffer (" +
+            name_ + ")");
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &rec = recs[i];
+        pc_[start + i] = rec.pc;
+        nextPc_[start + i] = rec.nextPc;
+        memAddr_[start + i] = rec.memAddr;
+        assert(static_cast<std::uint8_t>(rec.cls) < 0x80);
+        clsTaken_[start + i] =
+            static_cast<std::uint8_t>(rec.cls) |
+            (rec.taken ? std::uint8_t{0x80} : std::uint8_t{0});
+    }
+}
+
 std::unique_ptr<TraceSource>
 RecordBuffer::makeTail(std::uint64_t position) const
 {
@@ -74,6 +105,18 @@ ReplayCursor::ReplayCursor(std::shared_ptr<const RecordBuffer> buffer)
     : buffer_(std::move(buffer)),
       touchedBitmap_(buffer_->codeBitmapWords(), 0)
 {
+}
+
+ReplayCursor::ReplayCursor(std::shared_ptr<const RecordBuffer> buffer,
+                           std::uint64_t start_record)
+    : buffer_(std::move(buffer)),
+      pos_(start_record),
+      touchedBitmap_(buffer_->codeBitmapWords(), 0)
+{
+    if (start_record > buffer_->size())
+        throw std::out_of_range(
+            "ReplayCursor: start record past the buffer (" +
+            buffer_->name() + ")");
 }
 
 const char *

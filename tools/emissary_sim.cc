@@ -36,6 +36,7 @@
 #include "core/experiment.hh"
 #include "core/grid.hh"
 #include "core/observability.hh"
+#include "core/replay_build.hh"
 #include "core/simulator.hh"
 #include "core/threadpool.hh"
 #include "stats/chrome_trace.hh"
@@ -106,6 +107,13 @@ usage(const char *argv0)
         "                       docs/performance.md)\n"
         "  --sampled-sets K     sampling factor for --fast-mode\n"
         "                       (power of two; implies --fused)\n"
+        "  --time-chunks T      simulate the window as T chunks in\n"
+        "                       parallel with overlapped warming\n"
+        "                       (approximate; error bounds in\n"
+        "                       docs/performance.md; sampling and\n"
+        "                       event traces are disabled)\n"
+        "  --warmup-records W   per-chunk warming prefix for\n"
+        "                       --time-chunks (default 250000)\n"
         "  --l1i-policy SPEC    L1I policy (ablation; default "
         "TPLRU)\n"
         "  --instructions N     measured window (default 1500000)\n"
@@ -283,6 +291,9 @@ main(int argc, char **argv)
     bool fused = false;
     bool fast_mode = false;
     std::uint64_t sampled_sets = 0;
+    std::uint64_t time_chunks = 0;
+    std::uint64_t chunk_warmup_records = 0;
+    bool warmup_records_set = false;
     bool csv = false;
     bool progress = false;
     std::string stats_json_path;
@@ -327,6 +338,11 @@ main(int argc, char **argv)
             fast_mode = true;
         } else if (arg == "--sampled-sets") {
             sampled_sets = parseU64(arg, value());
+        } else if (arg == "--time-chunks") {
+            time_chunks = parseU64(arg, value());
+        } else if (arg == "--warmup-records") {
+            chunk_warmup_records = parseU64(arg, value());
+            warmup_records_set = true;
         } else if (arg == "--l1i-policy") {
             machine_options.l1iPolicy = value();
         } else if (arg == "--instructions") {
@@ -388,6 +404,11 @@ main(int argc, char **argv)
             machine_options.bypassLowPriorityInst;
         run_options.priorityResetInstructions = reset;
         run_options.seed = machine_options.seed;
+        if (time_chunks > 0)
+            run_options.timeChunks =
+                static_cast<unsigned>(time_chunks);
+        if (warmup_records_set)
+            run_options.chunkWarmupRecords = chunk_warmup_records;
 
         // Observability attachments (single-run paths). Categories
         // are validated up front so a typo is a usage error, not a
@@ -550,13 +571,40 @@ main(int argc, char **argv)
                                        machine_options.l2Policy));
                 core::RunTelemetry telemetry;
                 telemetry.spans = flight.get();
-                m = core::runPolicy(
-                    program,
-                    replacement::PolicySpec::parse(
-                        machine_options.l2Policy),
-                    replacement::PolicySpec::parse(
-                        run_options.l1iPolicy),
-                    run_options, &instr, &telemetry);
+                if (run_options.timeChunks > 1) {
+                    // Chunked run: pack the stream once, then let
+                    // the pool splice the window. Interval sampling
+                    // and event traces are per-cycle observations of
+                    // one sequential machine and stay disabled here.
+                    if (instr.sampleInterval > 0 || instr.traceSink)
+                        std::fprintf(stderr,
+                                     "note: --sample-interval/"
+                                     "--trace-out are ignored with "
+                                     "--time-chunks\n");
+                    auto buffer = std::make_shared<
+                        const trace::RecordBuffer>(
+                        program,
+                        trace::RecordBuffer::recordsForWindow(
+                            run_options.warmupInstructions +
+                            run_options.measureInstructions));
+                    core::ThreadPool pool(
+                        static_cast<unsigned>(jobs));
+                    m = core::runPolicyTimeParallel(
+                        std::move(buffer),
+                        replacement::PolicySpec::parse(
+                            machine_options.l2Policy),
+                        replacement::PolicySpec::parse(
+                            run_options.l1iPolicy),
+                        run_options, pool, &instr, &telemetry);
+                } else {
+                    m = core::runPolicy(
+                        program,
+                        replacement::PolicySpec::parse(
+                            machine_options.l2Policy),
+                        replacement::PolicySpec::parse(
+                            run_options.l1iPolicy),
+                        run_options, &instr, &telemetry);
+                }
             }
             if (flight)
                 stats::ChromeTraceWriter::write(perf_trace_path,
@@ -570,6 +618,88 @@ main(int argc, char **argv)
                     stats_json_path,
                     runJson(m, run_options, instr.registry,
                             instr.sampler, instr.wallSeconds));
+            return 0;
+        }
+
+        // Chunked trace replay: every chunk opens its own cursor
+        // into the container (O(1) block-index seek for .emtc), so
+        // the direct stateful-source path below is bypassed.
+        if (run_options.timeChunks > 1) {
+            if (!record_path.empty()) {
+                std::fprintf(stderr,
+                             "error: --time-chunks cannot be "
+                             "combined with --record (recording "
+                             "needs one sequential pass)\n");
+                return 2;
+            }
+            if (sample_interval > 0 || !trace_out_path.empty())
+                std::fprintf(stderr,
+                             "note: --sample-interval/--trace-out "
+                             "are ignored with --time-chunks\n");
+            const core::GridWorkload row(benchmark, trace_path);
+            const core::ChunkSourceFactory open_chunk =
+                [&row](std::uint64_t start_record) {
+                    return core::openTraceSource(row, start_record);
+                };
+            core::RunInstrumentation instr;
+            std::unique_ptr<stats::SpanRecorder> flight;
+            if (!perf_trace_path.empty()) {
+                flight = std::make_unique<stats::SpanRecorder>();
+                flight->labelThread("main");
+            }
+            core::Metrics m;
+            {
+                stats::ScopedTimer span(flight.get(), "run");
+                span.arg("policy", stats::JsonValue(
+                                       machine_options.l2Policy));
+                core::RunTelemetry telemetry;
+                telemetry.spans = flight.get();
+                core::ThreadPool pool(static_cast<unsigned>(jobs));
+                m = core::runPolicyTimeParallel(
+                    open_chunk,
+                    replacement::PolicySpec::parse(
+                        machine_options.l2Policy),
+                    replacement::PolicySpec::parse(
+                        run_options.l1iPolicy),
+                    run_options, pool, &instr, &telemetry);
+            }
+            if (flight)
+                stats::ChromeTraceWriter::write(perf_trace_path,
+                                                *flight);
+            const bool packed =
+                core::isPackedTracePath(trace_path);
+            if (packed)
+                // The container's pack-time census, as in the
+                // sequential replay path: chunk cursors cannot
+                // count a whole-trace footprint themselves.
+                m.codeFootprintLines =
+                    workload::readTraceInfo(trace_path)
+                        .uniqueCodeLines;
+            if (stats_json_path != "-")
+                printMetrics(m, csv);
+            if (!stats_json_path.empty()) {
+                stats::JsonValue doc =
+                    runJson(m, run_options, instr.registry,
+                            stats::Sampler(), instr.wallSeconds);
+                stats::JsonValue provenance =
+                    stats::JsonValue::object();
+                provenance.set("type", stats::JsonValue("trace"));
+                provenance.set("path", stats::JsonValue(trace_path));
+                if (packed) {
+                    const workload::TraceInfo info =
+                        workload::readTraceInfo(trace_path);
+                    provenance.set("file_bytes",
+                                   stats::JsonValue(info.fileBytes));
+                    provenance.set(
+                        "unique_code_lines",
+                        stats::JsonValue(info.uniqueCodeLines));
+                    provenance.set(
+                        "compression_ratio",
+                        stats::JsonValue(info.compressionRatio()));
+                }
+                doc.set("workload", std::move(provenance));
+                writeJsonOut(stats_json_path, doc);
+            }
             return 0;
         }
 
